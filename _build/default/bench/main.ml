@@ -1,0 +1,618 @@
+(* Benchmark harness: regenerates every figure of the paper's
+   evaluation (Sec. 4) plus the ablations and validation experiments of
+   DESIGN.md, and times the analysis algorithms with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- --only fig5  -- one experiment
+     dune exec bench/main.exe -- --list       -- list experiment ids
+     dune exec bench/main.exe -- --csv out/   -- also write CSV data files
+
+   Experiment ids: fig4 fig5 fig6 burstiness validation admission
+                   burst-propagation ablation-pairing ablation-theta sp
+                   tightness feedback edf-allocation timing
+
+   Absolute numbers are not expected to match the paper (its closed
+   forms come from an unavailable technical report and its y-axes are
+   unreadable in the OCR); the reproduced object is the *shape*: who
+   wins, by how much, and where the orderings cross.  See
+   EXPERIMENTS.md for the side-by-side reading. *)
+
+let loads = Sweep.steps ~lo:0.1 ~hi:0.9 ~step:0.1
+
+let tandem ?(sigma = 1.) ?(peak = 1.) n u =
+  Tandem.make ~n ~utilization:u ~sigma ~peak ()
+
+let delays ?(with_theta = false) n u =
+  let t = tandem n u in
+  Engine.compare_all ~with_theta ~strategy:(Pairing.Along_route 0) t.network 0
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* When --csv DIR is given, every printed table is also written to
+   DIR/<name>.csv. *)
+let csv_dir : string option ref = ref None
+
+let output ~name tbl =
+  Table.print tbl;
+  match !csv_dir with
+  | Some dir -> Table.save_csv ~dir ~name tbl
+  | None -> ()
+
+(* Shared layout for the three figures: a delay table with two series
+   per hop count, then a relative-improvement table. *)
+let figure ~name ~hops ~left ~right ~left_name ~right_name ~note () =
+  let cache =
+    List.map (fun u -> (u, List.map (fun n -> delays n u) hops)) loads
+  in
+  print_endline "\nEnd-to-end delay bounds:";
+  let tbl =
+    Table.create
+      ~header:
+        ("U"
+        :: List.concat_map
+             (fun n ->
+               [
+                 Printf.sprintf "%s(%d)" left_name n;
+                 Printf.sprintf "%s(%d)" right_name n;
+               ])
+             hops)
+  in
+  List.iter
+    (fun (u, row) ->
+      Table.add_floats tbl
+        (u :: List.concat_map (fun c -> [ left c; right c ]) row))
+    cache;
+  output ~name:(name ^ "-delays") tbl;
+  Printf.printf
+    "\nRelative improvement R = (%s - %s) / %s of %s over %s:\n" left_name
+    right_name left_name right_name left_name;
+  let tbl2 =
+    Table.create
+      ~header:("U" :: List.map (fun n -> Printf.sprintf "R(%d)" n) hops)
+  in
+  List.iter
+    (fun (u, row) ->
+      Table.add_floats tbl2
+        (u
+        :: List.map
+             (fun c -> Engine.relative_improvement (left c) (right c))
+             row))
+    cache;
+  output ~name:(name ^ "-improvement") tbl2;
+  print_endline note
+
+let fig4 () =
+  section "Figure 4 — Decomposed vs Service Curve (tandem, Connection 0)";
+  figure ~name:"fig4" ~hops:[ 2; 4; 6; 8 ]
+    ~left:(fun (c : Engine.comparison) -> c.service_curve)
+    ~right:(fun c -> c.decomposed)
+    ~left_name:"D_SC" ~right_name:"D_D"
+    ~note:
+      "\nExpected shape: the service-curve method degrades sharply as the \
+       load grows\n(its leftover rate collapses); for large n at low load \
+       the compounding of\nper-server worst cases makes Decomposed slightly \
+       worse instead (negative R)."
+    ()
+
+let fig5 () =
+  section "Figure 5 — Integrated vs Decomposed (tandem, Connection 0)";
+  figure ~name:"fig5" ~hops:[ 2; 4; 8 ]
+    ~left:(fun (c : Engine.comparison) -> c.decomposed)
+    ~right:(fun c -> c.integrated)
+    ~left_name:"D_D" ~right_name:"D_I"
+    ~note:
+      "\nExpected shape: Integrated wins at every point; at low-to-moderate \
+       load the\nimprovement grows with the network size."
+    ()
+
+let fig6 () =
+  section "Figure 6 — Integrated vs Service Curve (tandem, Connection 0)";
+  figure ~name:"fig6" ~hops:[ 2; 4; 6; 8 ]
+    ~left:(fun (c : Engine.comparison) -> c.service_curve)
+    ~right:(fun c -> c.integrated)
+    ~left_name:"D_SC" ~right_name:"D_I"
+    ~note:
+      "\nExpected shape: significant gains everywhere (recall D_SC is \
+       itself optimistic\nfor FIFO); the margin narrows only for large \
+       systems under high load."
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Burstiness invariance (paper Sec. 4.1 claim)                        *)
+(* ------------------------------------------------------------------ *)
+
+let burstiness () =
+  section
+    "Burstiness sweep — Sec. 4.1: \"increasing the traffic burstiness has \
+     no effect on the relative improvement\"";
+  let tbl =
+    Table.create ~header:[ "sigma"; "D_D"; "D_I"; "R(D,I)"; "D_SC"; "R(SC,I)" ]
+  in
+  List.iter
+    (fun sigma ->
+      let t = tandem ~sigma 4 0.6 in
+      let c =
+        Engine.compare_all ~with_theta:false
+          ~strategy:(Pairing.Along_route 0) t.network 0
+      in
+      Table.add_floats tbl
+        [
+          sigma;
+          c.decomposed;
+          c.integrated;
+          Engine.relative_improvement c.decomposed c.integrated;
+          c.service_curve;
+          Engine.relative_improvement c.service_curve c.integrated;
+        ])
+    [ 1.; 2.; 4.; 8. ];
+  output ~name:"burstiness" tbl;
+  print_endline
+    "\nExpected shape: absolute delays scale with sigma while both \
+     relative-improvement\ncolumns stay (nearly) constant (exactly \
+     constant with peak-free sources,\nnearly with the paper's peak-rate-1 \
+     clipping)."
+
+(* ------------------------------------------------------------------ *)
+(* Validation against the packet simulator                             *)
+(* ------------------------------------------------------------------ *)
+
+let validation () =
+  section "Validation — analytic bounds vs greedy packet simulation";
+  List.iter
+    (fun (n, u) ->
+      Printf.printf "\nTandem n = %d, U = %g (peak-free sources):\n" n u;
+      let t = Tandem.make ~n ~utilization:u ~peak:infinity () in
+      let net = t.network in
+      let config =
+        { Sim.default_config with packet_size = 0.2; horizon = 400. }
+      in
+      let bounds =
+        [
+          ("D_D", Decomposed.all_flow_delays (Decomposed.analyze net));
+          ( "D_SC",
+            Service_curve_method.all_flow_delays
+              (Service_curve_method.analyze net) );
+          ( "D_I",
+            Integrated.all_flow_delays
+              (Integrated.analyze ~strategy:(Pairing.Along_route 0) net) );
+        ]
+      in
+      let reports =
+        List.map
+          (fun (name, b) -> (name, Validate.check ~config ~bounds:b net))
+          bounds
+      in
+      let tbl =
+        Table.create ~header:[ "flow"; "observed"; "D_D"; "D_SC"; "D_I"; "ok" ]
+      in
+      List.iteri
+        (fun i (f : Flow.t) ->
+          let row = List.map (fun (_, rs) -> List.nth rs i) reports in
+          let observed = (List.hd row).Validate.observed in
+          let ok =
+            List.for_all (fun (r : Validate.report) -> r.slack >= -1e-6) row
+          in
+          Table.add_row tbl
+            ([ f.Flow.name; Table.float_cell observed ]
+            @ List.map
+                (fun (r : Validate.report) -> Table.float_cell r.bound)
+                row
+            @ [ (if ok then "yes" else "VIOLATION") ]))
+        (Network.flows net);
+      output ~name:(Printf.sprintf "validation-n%d" n) tbl)
+    [ (2, 0.6); (4, 0.9) ];
+  print_endline
+    "\nEvery bound must dominate the observed maximum (column ok = yes)."
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let admission () =
+  section "Admission control — connections admitted per analysis method";
+  let n = 4 in
+  let tbl =
+    Table.create
+      ~header:[ "deadline"; "Service Curve"; "Decomposed"; "Integrated" ]
+  in
+  List.iter
+    (fun deadline ->
+      let t = tandem n 0.4 in
+      let servers = Network.servers t.network in
+      let base = Network.flows t.network in
+      let candidates =
+        List.init 12 (fun i ->
+            Flow.make ~id:(1000 + i)
+              ~arrival:(Arrival.paper_source ~sigma:1. ~rho:0.03)
+              ~route:(List.init n (fun k -> k))
+              ~deadline ())
+      in
+      let count method_ =
+        float_of_int
+          (List.length
+             (Admission.run ~servers ~base ~candidates ~method_
+                ~strategy:(Pairing.Along_route 0) ())
+               .admitted)
+      in
+      Table.add_floats tbl
+        [
+          deadline;
+          count Engine.Service_curve;
+          count Engine.Decomposed;
+          count Engine.Integrated;
+        ])
+    [ 16.; 20.; 24.; 30.; 40. ];
+  output ~name:"admission" tbl;
+  print_endline
+    "\nExpected shape: Integrated admits at least as many connections at \
+     every\ndeadline, strictly more in the mid range."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_pairing () =
+  section "Ablation — pairing strategy and link-capacity sharpening (n = 8)";
+  let tbl =
+    Table.create
+      ~header:[ "U"; "singletons"; "greedy"; "along-route"; "along+linkcap" ]
+  in
+  List.iter
+    (fun u ->
+      let t = tandem 8 u in
+      let run ?options strategy =
+        Integrated.flow_delay
+          (Integrated.analyze ?options ~strategy t.network)
+          0
+      in
+      Table.add_floats tbl
+        [
+          u;
+          run Pairing.Singletons;
+          run Pairing.Greedy;
+          run (Pairing.Along_route 0);
+          run ~options:Options.sharpened (Pairing.Along_route 0);
+        ])
+    [ 0.2; 0.4; 0.6; 0.8; 0.9 ];
+  output ~name:"ablation-pairing" tbl;
+  print_endline
+    "\nExpected shape: singletons = Algorithm Decomposed (the degenerate \
+     case);\npairing along the tagged route captures the delay \
+     dependencies; the link-cap\noption sharpens further at no conceptual \
+     cost."
+
+let ablation_theta () =
+  section
+    "Ablation — FIFO service-curve family (theta) vs the paper's methods";
+  let tbl =
+    Table.create
+      ~header:[ "n"; "U"; "D_SC (theta=0)"; "D_theta"; "D_I"; "D_D" ]
+  in
+  List.iter
+    (fun (n, u) ->
+      let c = delays ~with_theta:true n u in
+      Table.add_floats tbl
+        [
+          float_of_int n;
+          u;
+          c.service_curve;
+          c.fifo_theta;
+          c.integrated;
+          c.decomposed;
+        ])
+    [ (4, 0.3); (4, 0.6); (4, 0.9); (8, 0.3); (8, 0.6); (8, 0.9) ];
+  output ~name:"ablation-theta" tbl;
+  print_endline
+    "\nExpected shape: tuning theta always improves on the theta = 0 \
+     leftover curve\n(the paper's induced service curve).  At low load the \
+     pairwise Integrated\nmethod still wins; at high load / long paths the \
+     theta family overtakes it —\nits end-to-end rate does not degrade with \
+     path length, validating the\nservice-curve research line the paper's \
+     conclusion anticipates."
+
+(* ------------------------------------------------------------------ *)
+(* Burst propagation along the path (mechanism view)                   *)
+(* ------------------------------------------------------------------ *)
+
+let burst_propagation () =
+  section
+    "Burst propagation — Connection 0's envelope burst at each middle port";
+  let n = 8 and u = 0.7 in
+  let t = tandem n u in
+  let net = t.network in
+  let dd = Decomposed.analyze net in
+  let integ = Integrated.analyze ~strategy:(Pairing.Along_route 0) net in
+  let tbl =
+    Table.create ~header:[ "port"; "Decomposed burst"; "Integrated burst" ]
+  in
+  List.iter
+    (fun sid ->
+      let burst_of env = Pwl.eval env 1.0 -. Pwl.final_slope env in
+      let integrated_cell =
+        (* Inside a pair the integrated method never materializes an
+           envelope at the second server — that is precisely the
+           integration. *)
+        match Integrated.envelope_at integ ~flow:0 ~server:sid with
+        | env -> Table.float_cell (burst_of env)
+        | exception Not_found -> "(inside pair)"
+      in
+      Table.add_row tbl
+        [
+          Printf.sprintf "mid%d" sid;
+          Table.float_cell
+            (burst_of (Decomposed.envelope_at dd ~flow:0 ~server:sid));
+          integrated_cell;
+        ])
+    t.mid_servers;
+  output ~name:"burst-propagation" tbl;
+  Printf.printf
+    "\n(tandem n = %d, U = %g; burst = intercept of the envelope's final piece.)\nThis is the mechanism behind Figure 5: the decomposition inflates\nConnection 0's burst at every hop, while the integrated pairs charge it\nonce per pair; the gap in the bounds is the accumulated difference.\n"
+    n u
+
+(* ------------------------------------------------------------------ *)
+(* Static-priority extension (paper Sec. 5 future work)                *)
+(* ------------------------------------------------------------------ *)
+
+let sp_extension () =
+  section
+    "Static-priority extension — Integrated vs Decomposed on the SP tandem \
+     (paper Sec. 5 future work)";
+  print_endline
+    "\nSame Fig. 3 tandem with static-priority servers; priorities: A \
+     sessions\nurgent (0), Connection 0 middle (1), B sessions background \
+     (2).  Bounds for\nConnection 0 and for a background B session:";
+  let tbl =
+    Table.create
+      ~header:
+        [
+          "n"; "U"; "conn0 D_D"; "conn0 D_Isp"; "R"; "B1 D_D"; "B1 D_Isp";
+        ]
+  in
+  List.iter
+    (fun (n, u) ->
+      let t =
+        Tandem.make ~n ~utilization:u
+          ~discipline:Discipline.Static_priority ()
+      in
+      let dd = Decomposed.analyze t.network in
+      let sp =
+        Integrated_sp.analyze ~strategy:(Pairing.Along_route 0) t.network
+      in
+      let b1 = 4 (* flow id of B1 *) in
+      Table.add_floats tbl
+        [
+          float_of_int n;
+          u;
+          Decomposed.flow_delay dd 0;
+          Integrated_sp.flow_delay sp 0;
+          Engine.relative_improvement
+            (Decomposed.flow_delay dd 0)
+            (Integrated_sp.flow_delay sp 0);
+          Decomposed.flow_delay dd b1;
+          Integrated_sp.flow_delay sp b1;
+        ])
+    [ (2, 0.3); (2, 0.7); (4, 0.5); (4, 0.8); (8, 0.6); (8, 0.9) ];
+  output ~name:"sp" tbl;
+  print_endline
+    "\nExpected shape: the pairwise integration carries over to priority \
+     classes\n(leftover service curves replace the constant rate) and keeps \
+     beating the\ndecomposition, with even larger margins than FIFO at high \
+     load — exactly the\nextension the paper announces in its conclusion."
+
+(* ------------------------------------------------------------------ *)
+(* EDF deadline allocation (paper ref [28])                            *)
+(* ------------------------------------------------------------------ *)
+
+let edf_allocation () =
+  section
+    "EDF deadline allocation — adaptive vs naive equal split (ref [28])";
+  (* A two-hop flow through a hop that two tight pure-burst crosses keep
+     busy early; sweep the end-to-end budget. *)
+  let make_net deadline =
+    let mk ~id ~sigma ~rho ~route ~deadline =
+      Flow.make ~id ~arrival:(Arrival.token_bucket ~sigma ~rho ()) ~route
+        ~deadline ()
+    in
+    Network.make
+      ~servers:
+        (List.init 2 (fun id ->
+             Server.make ~id ~rate:1. ~discipline:Discipline.Edf ()))
+      ~flows:
+        [
+          mk ~id:0 ~sigma:1. ~rho:0.05 ~route:[ 0; 1 ] ~deadline;
+          mk ~id:1 ~sigma:1. ~rho:0. ~route:[ 0 ] ~deadline:1.;
+          mk ~id:2 ~sigma:1. ~rho:0. ~route:[ 0 ] ~deadline:2.;
+        ]
+  in
+  let tbl =
+    Table.create
+      ~header:[ "budget"; "equal split"; "adaptive"; "adaptive d0"; "d1" ]
+  in
+  List.iter
+    (fun deadline ->
+      let net = make_net deadline in
+      let a = Edf_allocation.allocate net in
+      Table.add_row tbl
+        [
+          Table.float_cell deadline;
+          string_of_bool (Edf_allocation.equal_split_feasible net 0);
+          string_of_bool (Edf_allocation.flow_feasible a 0);
+          Table.float_cell (Edf_allocation.local_deadline a ~flow:0 ~server:0);
+          Table.float_cell (Edf_allocation.local_deadline a ~flow:0 ~server:1);
+        ])
+    [ 4.0; 4.5; 5.0; 5.5; 6.5; 8.0 ];
+  output ~name:"edf-allocation" tbl;
+  print_endline
+    "\nExpected shape: the adaptive split certifies budgets in a band where the\nequal split fails, by giving the contested first hop the larger share."
+
+(* ------------------------------------------------------------------ *)
+(* Feedback (cyclic) networks                                          *)
+(* ------------------------------------------------------------------ *)
+
+let feedback () =
+  section
+    "Feedback — fixed-point analysis of a cyclic ring (paper Sec. 5 \
+     limitation)";
+  let n = 6 and hops = 4 in
+  Printf.printf
+    "\nRing of %d rate-1 FIFO servers, each flow riding %d hops; the \
+     linearized\nburst recursion has spectral radius U (hops - 1) / 2, so \
+     the fixed point\nshould diverge past U = %.3f:\n\n"
+    n hops
+    (2. /. float_of_int (hops - 1));
+  let tbl =
+    Table.create ~header:[ "U"; "converged"; "iterations"; "per-flow bound" ]
+  in
+  List.iter
+    (fun u ->
+      let r = Ring.make ~n ~hops ~utilization:u () in
+      let fp = Fixed_point.analyze ~max_iter:400 r.network in
+      Table.add_row tbl
+        [
+          Table.float_cell u;
+          string_of_bool (Fixed_point.converged fp);
+          string_of_int (Fixed_point.iterations fp);
+          Table.float_cell (Fixed_point.flow_delay fp 0);
+        ])
+    [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.65; 0.7; 0.8; 0.9 ];
+  output ~name:"feedback" tbl;
+  print_endline
+    "\nExpected shape: finite bounds matching the symmetric closed form\n\
+     hops^2 sigma / (1 - U (hops - 1) / 2) up to the threshold, divergence \
+     beyond —\nthe feedback effect that keeps Algorithm Integrated \
+     restricted to feedforward\nrouting in the paper."
+
+(* ------------------------------------------------------------------ *)
+(* Tightness: how close do conforming scenarios get to the bounds?     *)
+(* ------------------------------------------------------------------ *)
+
+let tightness () =
+  section
+    "Tightness — exact fluid scenarios (phase-searched) vs bounds";
+  let tbl =
+    Table.create
+      ~header:
+        [ "n"; "U"; "fluid obs"; "D_I"; "obs/D_I"; "D_D"; "obs/D_D" ]
+  in
+  List.iter
+    (fun (n, u) ->
+      let t = Tandem.make ~n ~utilization:u ~peak:infinity () in
+      let net = t.network in
+      let obs = List.assoc 0 (Fluid.phase_search ~tries:10 net) in
+      let di =
+        Integrated.flow_delay
+          (Integrated.analyze ~strategy:(Pairing.Along_route 0) net)
+          0
+      in
+      let dd = Decomposed.flow_delay (Decomposed.analyze net) 0 in
+      Table.add_floats tbl
+        [ float_of_int n; u; obs; di; obs /. di; dd; obs /. dd ])
+    [ (2, 0.4); (2, 0.8); (4, 0.4); (4, 0.8); (8, 0.8) ];
+  Table.print tbl;
+  (match !csv_dir with Some dir -> Table.save_csv ~dir ~name:"tightness" tbl | None -> ());
+  print_endline
+    "\nThe fluid executor replays exactly-conforming scenarios (no packetization\nslack), so obs/D is a true lower estimate of each bound's tightness.  The\nintegrated bound is markedly closer to what conforming traffic achieves; on\na 2-server pair with no cross traffic it is attained exactly (tested)."
+
+(* ------------------------------------------------------------------ *)
+(* Timing (Bechamel)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let timing () =
+  section "Timing — cost of one full-network analysis (tandem n = 8, U = 0.6)";
+  let t = tandem 8 0.6 in
+  let net = t.network in
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"decomposed"
+        (Staged.stage (fun () ->
+             ignore (Decomposed.all_flow_delays (Decomposed.analyze net))));
+      Test.make ~name:"service-curve"
+        (Staged.stage (fun () ->
+             ignore
+               (Service_curve_method.all_flow_delays
+                  (Service_curve_method.analyze net))));
+      Test.make ~name:"integrated"
+        (Staged.stage (fun () ->
+             ignore
+               (Integrated.all_flow_delays
+                  (Integrated.analyze ~strategy:(Pairing.Along_route 0) net))));
+      Test.make ~name:"fifo-theta"
+        (Staged.stage (fun () ->
+             ignore (Fifo_theta.flow_delay (Fifo_theta.analyze net) 0)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let tbl = Table.create ~header:[ "analysis"; "time per run (ms)" ] in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ instance ] elt in
+          let result = Analyze.one ols instance raw in
+          let ns =
+            match Analyze.OLS.estimates result with
+            | Some [ e ] -> e
+            | _ -> nan
+          in
+          Table.add_row tbl
+            [ Test.Elt.name elt; Printf.sprintf "%.3f" (ns /. 1e6) ])
+        (Test.elements test))
+    tests;
+  output ~name:"timing" tbl;
+  print_endline
+    "\nAll methods run in milliseconds on a 24-server network — fast \
+     enough for the\nonline admission-control use the paper targets \
+     (\"simple and fast\")."
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("burstiness", burstiness);
+    ("validation", validation);
+    ("admission", admission);
+    ("burst-propagation", burst_propagation);
+    ("ablation-pairing", ablation_pairing);
+    ("ablation-theta", ablation_theta);
+    ("sp", sp_extension);
+    ("tightness", tightness);
+    ("feedback", feedback);
+    ("edf-allocation", edf_allocation);
+    ("timing", timing);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--list" args then
+    List.iter (fun (id, _) -> print_endline id) experiments
+  else
+    let rec find_opt key = function
+      | k :: v :: _ when k = key -> Some v
+      | _ :: rest -> find_opt key rest
+      | [] -> None
+    in
+    csv_dir := find_opt "--csv" args;
+    let only = find_opt "--only" args in
+    let selected =
+      match only with
+      | None -> experiments
+      | Some id -> (
+          match List.assoc_opt id experiments with
+          | Some f -> [ (id, f) ]
+          | None ->
+              Printf.eprintf "unknown experiment %s; try --list\n" id;
+              exit 1)
+    in
+    List.iter (fun (_, f) -> f ()) selected

@@ -1,0 +1,387 @@
+(* netcalc — command-line front end.
+
+   Subcommands:
+     tandem    delay bounds for Connection 0 of the paper's tandem
+     sweep     load sweep over all methods (one figure's worth of data)
+     simulate  greedy packet simulation of the tandem, bounds vs observed
+     fluid     exact fluid tightness probe (no packetization slack)
+     random    analyze a random feedforward network
+     analyze   analyze a scenario file (with optional full report)
+     ring      fixed-point analysis of a cyclic ring
+     sp        static-priority tandem (the Sec. 5 extension)
+     dot       emit the routing graph of a tandem in Graphviz format *)
+
+open Cmdliner
+
+let hops_arg =
+  Arg.(value & opt int 4 & info [ "n"; "hops" ] ~docv:"N"
+         ~doc:"Number of 3x3 switches in the tandem.")
+
+let util_arg =
+  Arg.(value & opt float 0.6 & info [ "u"; "utilization" ] ~docv:"U"
+         ~doc:"Internal link utilization, in (0, 1).")
+
+let sigma_arg =
+  Arg.(value & opt float 1. & info [ "sigma" ] ~docv:"S"
+         ~doc:"Token bucket burst of every source.")
+
+let peak_arg =
+  Arg.(value & opt float 1. & info [ "peak" ] ~docv:"P"
+         ~doc:"Source peak rate (use 'inf' semantics with a large value; \
+               the paper uses the link rate 1).")
+
+let link_cap_arg =
+  Arg.(value & flag & info [ "link-cap" ]
+         ~doc:"Enable the link-capacity sharpening (ablation).")
+
+let options_of link_cap =
+  if link_cap then Options.sharpened else Options.default
+
+let methods_table net ~flow ~options =
+  let tbl =
+    Table.create ~header:[ "method"; "delay bound"; "R vs Decomposed" ]
+  in
+  let dd = Engine.flow_delay ~options net Engine.Decomposed flow in
+  List.iter
+    (fun m ->
+      let d =
+        Engine.flow_delay ~options ~strategy:(Pairing.Along_route flow) net m
+          flow
+      in
+      Table.add_row tbl
+        [
+          Engine.method_name m;
+          Table.float_cell d;
+          (if m = Engine.Decomposed then "-"
+           else Table.float_cell (Engine.relative_improvement dd d));
+        ])
+    Engine.all_methods;
+  tbl
+
+let tandem_cmd =
+  let run n u sigma peak link_cap =
+    let t = Tandem.make ~n ~utilization:u ~sigma ~peak () in
+    Printf.printf
+      "Tandem of %d switches (Fig. 3), U = %g, sigma = %g, peak = %g\n\
+       Connection 0 end-to-end delay bounds:\n\n"
+      n u sigma peak;
+    Table.print (methods_table t.network ~flow:0 ~options:(options_of link_cap))
+  in
+  Cmd.v
+    (Cmd.info "tandem" ~doc:"Delay bounds for Connection 0 of the tandem")
+    Term.(const run $ hops_arg $ util_arg $ sigma_arg $ peak_arg $ link_cap_arg)
+
+let sweep_cmd =
+  let run n sigma peak link_cap =
+    let options = options_of link_cap in
+    let tbl =
+      Table.create
+        ~header:[ "U"; "Decomposed"; "Service Curve"; "Integrated"; "FIFO-theta" ]
+    in
+    List.iter
+      (fun u ->
+        let t = Tandem.make ~n ~utilization:u ~sigma ~peak () in
+        let c =
+          Engine.compare_all ~options ~strategy:(Pairing.Along_route 0)
+            t.network 0
+        in
+        Table.add_floats tbl
+          [ u; c.decomposed; c.service_curve; c.integrated; c.fifo_theta ])
+      (Sweep.steps ~lo:0.1 ~hi:0.9 ~step:0.1);
+    Printf.printf "Load sweep, tandem n = %d:\n\n" n;
+    Table.print tbl
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep the load and compare all methods")
+    Term.(const run $ hops_arg $ sigma_arg $ peak_arg $ link_cap_arg)
+
+let simulate_cmd =
+  let horizon_arg =
+    Arg.(value & opt float 400. & info [ "horizon" ] ~docv:"T"
+           ~doc:"Source emission horizon.")
+  in
+  let packet_arg =
+    Arg.(value & opt float 0.25 & info [ "packet-size" ] ~docv:"L"
+           ~doc:"Packet size (must be at most sigma).")
+  in
+  let run n u sigma horizon packet_size =
+    (* Packetized sources cannot meet a finite fluid peak-rate envelope;
+       simulate against peak-free sources (see Validate). *)
+    let t = Tandem.make ~n ~utilization:u ~sigma ~peak:infinity () in
+    let net = t.network in
+    let integ = Integrated.analyze ~strategy:(Pairing.Along_route 0) net in
+    let config = { Sim.default_config with horizon; packet_size } in
+    let reports =
+      Validate.check ~config ~bounds:(Integrated.all_flow_delays integ) net
+    in
+    let tbl =
+      Table.create
+        ~header:[ "flow"; "observed max"; "integrated bound"; "slack" ]
+    in
+    List.iter
+      (fun (r : Validate.report) ->
+        Table.add_row tbl
+          [
+            (Network.flow net r.flow).Flow.name;
+            Table.float_cell r.observed;
+            Table.float_cell r.bound;
+            Table.float_cell r.slack;
+          ])
+      reports;
+    Printf.printf
+      "Greedy simulation of the tandem (n = %d, U = %g, peak-free sources):\n\n"
+      n u;
+    Table.print tbl;
+    match Validate.violations reports with
+    | [] -> print_endline "\nAll bounds hold."
+    | v -> Printf.printf "\n*** %d VIOLATION(S) ***\n" (List.length v)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Validate bounds against a greedy simulation")
+    Term.(const run $ hops_arg $ util_arg $ sigma_arg $ horizon_arg $ packet_arg)
+
+let random_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let flows_arg =
+    Arg.(value & opt int 8 & info [ "flows" ] ~docv:"K" ~doc:"Number of flows.")
+  in
+  let layers_arg =
+    Arg.(value & opt int 3 & info [ "layers" ] ~docv:"L" ~doc:"Layers.")
+  in
+  let run seed flows layers u link_cap =
+    let net =
+      Randomnet.generate
+        { Randomnet.default with seed; num_flows = flows; layers;
+          utilization = u }
+    in
+    let options = options_of link_cap in
+    let dd = Decomposed.analyze ~options net in
+    let integ = Integrated.analyze ~options ~strategy:Pairing.Greedy net in
+    let tbl =
+      Table.create ~header:[ "flow"; "hops"; "Decomposed"; "Integrated"; "R" ]
+    in
+    List.iter
+      (fun (f : Flow.t) ->
+        let d = Decomposed.flow_delay dd f.id in
+        let i = Integrated.flow_delay integ f.id in
+        Table.add_row tbl
+          [
+            f.name;
+            string_of_int (List.length f.route);
+            Table.float_cell d;
+            Table.float_cell i;
+            Table.float_cell (Engine.relative_improvement d i);
+          ])
+      (Network.flows net);
+    Format.printf "%a@.@." Network.pp net;
+    Table.print tbl
+  in
+  Cmd.v
+    (Cmd.info "random" ~doc:"Analyze a random feedforward network")
+    Term.(const run $ seed_arg $ flows_arg $ layers_arg $ util_arg $ link_cap_arg)
+
+let analyze_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Scenario file (see the Scenario module for the format).")
+  in
+  let report_arg =
+    Arg.(value & flag & info [ "report" ]
+           ~doc:"Print the full per-hop report instead of the summary table.")
+  in
+  let run file report link_cap =
+    let net =
+      try Scenario.load file
+      with Scenario.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" file line msg;
+        exit 1
+    in
+    let options = options_of link_cap in
+    if report && Network.is_feedforward net then begin
+      print_string (Report.decomposed (Decomposed.analyze ~options net));
+      print_newline ();
+      print_string
+        (Report.integrated (Integrated.analyze ~options ~strategy:Pairing.Greedy net))
+    end
+    else begin
+    Format.printf "%a@.@." Network.pp net;
+    if Network.is_feedforward net then begin
+      let dd = Decomposed.analyze ~options net in
+      let integ = Integrated.analyze ~options ~strategy:Pairing.Greedy net in
+      let tbl =
+        Table.create
+          ~header:[ "flow"; "hops"; "Decomposed"; "Integrated"; "R"; "deadline ok" ]
+      in
+      List.iter
+        (fun (f : Flow.t) ->
+          let d = Decomposed.flow_delay dd f.id in
+          let i = Integrated.flow_delay integ f.id in
+          Table.add_row tbl
+            [
+              f.name;
+              string_of_int (List.length f.route);
+              Table.float_cell d;
+              Table.float_cell i;
+              Table.float_cell (Engine.relative_improvement d i);
+              (match f.deadline with
+              | None -> "-"
+              | Some dl -> if i <= dl then "yes" else "NO");
+            ])
+        (Network.flows net);
+      Table.print tbl
+    end
+    else begin
+      print_endline
+        "Routing graph has cycles: using the fixed-point (feedback) engine.";
+      let fp = Fixed_point.analyze ~options net in
+      Printf.printf "Converged: %b after %d iteration(s)\n\n"
+        (Fixed_point.converged fp) (Fixed_point.iterations fp);
+      let tbl = Table.create ~header:[ "flow"; "hops"; "bound" ] in
+      List.iter
+        (fun (f : Flow.t) ->
+          Table.add_row tbl
+            [
+              f.name;
+              string_of_int (List.length f.route);
+              Table.float_cell (Fixed_point.flow_delay fp f.id);
+            ])
+        (Network.flows net);
+      Table.print tbl
+    end
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Analyze a network described in a scenario file")
+    Term.(const run $ file_arg $ report_arg $ link_cap_arg)
+
+let ring_cmd =
+  let ring_n =
+    Arg.(value & opt int 6 & info [ "n" ] ~docv:"N" ~doc:"Ring size.")
+  in
+  let ring_hops =
+    Arg.(value & opt int 3 & info [ "ring-hops" ] ~docv:"H"
+           ~doc:"Hops each flow travels around the ring.")
+  in
+  let run n hops u =
+    let r = Ring.make ~n ~hops ~utilization:u () in
+    let fp = Fixed_point.analyze r.network in
+    Printf.printf
+      "Ring of %d servers, %d hops per flow, U = %g\nConverged: %b after %d \
+       iteration(s)\n"
+      n hops u (Fixed_point.converged fp) (Fixed_point.iterations fp);
+    if Fixed_point.converged fp then
+      Printf.printf "Per-flow end-to-end bound: %s\n"
+        (Table.float_cell (Fixed_point.flow_delay fp 0))
+    else
+      print_endline
+        "The decomposition fixed point diverges (feedback instability); no \
+         finite bound."
+  in
+  Cmd.v
+    (Cmd.info "ring" ~doc:"Fixed-point analysis of a cyclic ring network")
+    Term.(const run $ ring_n $ ring_hops $ util_arg)
+
+let sp_cmd =
+  let run n u =
+    let t =
+      Tandem.make ~n ~utilization:u ~discipline:Discipline.Static_priority ()
+    in
+    let net = t.network in
+    let dd = Decomposed.analyze net in
+    let sp = Integrated_sp.analyze ~strategy:(Pairing.Along_route 0) net in
+    Printf.printf
+      "Static-priority tandem (n = %d, U = %g); priorities: A = 0 (urgent),        conn0 = 1, B = 2:
+
+"
+      n u;
+    let tbl =
+      Table.create
+        ~header:[ "flow"; "prio"; "SP-decomposed"; "SP-integrated"; "R" ]
+    in
+    List.iter
+      (fun (f : Flow.t) ->
+        let d = Decomposed.flow_delay dd f.id in
+        let i = Integrated_sp.flow_delay sp f.id in
+        Table.add_row tbl
+          [
+            f.name;
+            string_of_int f.priority;
+            Table.float_cell d;
+            Table.float_cell i;
+            Table.float_cell (Engine.relative_improvement d i);
+          ])
+      (Network.flows net);
+    Table.print tbl
+  in
+  Cmd.v
+    (Cmd.info "sp"
+       ~doc:"Static-priority tandem: integrated extension vs decomposition")
+    Term.(const run $ hops_arg $ util_arg)
+
+let fluid_cmd =
+  let tries_arg =
+    Arg.(value & opt int 8 & info [ "tries" ] ~docv:"K"
+           ~doc:"Number of phase-randomized fluid scenarios.")
+  in
+  let run n u tries =
+    let t = Tandem.make ~n ~utilization:u ~peak:infinity () in
+    let net = t.network in
+    let observed = Fluid.phase_search ~tries net in
+    let integ = Integrated.analyze ~strategy:(Pairing.Along_route 0) net in
+    let dd = Decomposed.analyze net in
+    Printf.printf
+      "Exact fluid scenarios (%d phase draws) on the tandem (n = %d, U = %g):\n\n"
+      tries n u;
+    let tbl =
+      Table.create
+        ~header:[ "flow"; "fluid max"; "D_I"; "obs/D_I"; "D_D"; "obs/D_D" ]
+    in
+    List.iter
+      (fun (id, obs) ->
+        let f = Network.flow net id in
+        let di = Integrated.flow_delay integ id in
+        let d = Decomposed.flow_delay dd id in
+        Table.add_row tbl
+          [
+            f.Flow.name;
+            Table.float_cell obs;
+            Table.float_cell di;
+            Table.float_cell (obs /. di);
+            Table.float_cell d;
+            Table.float_cell (obs /. d);
+          ])
+      observed;
+    Table.print tbl;
+    print_endline
+      "\nFluid scenarios conform to the analytic envelopes exactly, so \
+       obs/D is a\ntrue lower estimate of each bound's tightness."
+  in
+  Cmd.v
+    (Cmd.info "fluid"
+       ~doc:"Exact fluid tightness probe for the tandem (no packetization)")
+    Term.(const run $ hops_arg $ util_arg $ tries_arg)
+
+let dot_cmd =
+  let run n u =
+    let t = Tandem.make ~n ~utilization:u () in
+    print_string (Dot.to_dot t.network)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the tandem's routing graph as Graphviz")
+    Term.(const run $ hops_arg $ util_arg)
+
+let () =
+  let info =
+    Cmd.info "netcalc" ~version:"1.0.0"
+      ~doc:"End-to-end delay analysis for feedforward FIFO networks \
+            (Li/Bettati/Zhao, ICPP 1999)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            tandem_cmd; sweep_cmd; simulate_cmd; random_cmd; analyze_cmd;
+            ring_cmd; fluid_cmd; sp_cmd; dot_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/admission_control.ml: Admission Arrival Engine Flow List Network Pairing Printf Table Tandem

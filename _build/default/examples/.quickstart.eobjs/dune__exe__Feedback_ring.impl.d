@@ -1,0 +1,1 @@
+examples/feedback_ring.ml: Fixed_point Float List Printf Ring Sim Sweep Table Validate

@@ -1,0 +1,1 @@
+examples/feedback_ring.mli:

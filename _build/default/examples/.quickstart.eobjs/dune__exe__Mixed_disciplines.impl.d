@@ -1,0 +1,1 @@
+examples/mixed_disciplines.ml: Arrival Decomposed Discipline Flow List Network Option Printf Server String Table

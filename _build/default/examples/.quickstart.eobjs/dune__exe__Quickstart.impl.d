@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arrival Engine Flow Format Network Pairing Printf Server

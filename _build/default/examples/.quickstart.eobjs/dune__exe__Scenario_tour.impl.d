@@ -1,0 +1,1 @@
+examples/scenario_tour.ml: Decomposed Filename Flow Format Integrated Integrated_sp List Network Pairing Report Scenario Table

@@ -1,0 +1,1 @@
+examples/scenario_tour.mli:

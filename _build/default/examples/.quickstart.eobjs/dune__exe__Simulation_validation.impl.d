@@ -1,0 +1,1 @@
+examples/simulation_validation.ml: Decomposed Float Flow Integrated List Network Pairing Printf Service_curve_method Sim Table Tandem Validate

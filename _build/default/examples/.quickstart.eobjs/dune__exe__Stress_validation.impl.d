@@ -1,0 +1,1 @@
+examples/stress_validation.ml: Decomposed Fluid Integrated List Pairing Printf Randomnet

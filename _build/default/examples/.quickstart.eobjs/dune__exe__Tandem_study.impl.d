@@ -1,0 +1,1 @@
+examples/tandem_study.ml: Engine List Pairing Printf Sweep Table Tandem

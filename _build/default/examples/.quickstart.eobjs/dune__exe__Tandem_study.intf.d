@@ -1,0 +1,1 @@
+examples/tandem_study.mli:

@@ -1,0 +1,59 @@
+(* Admission control for a video-conferencing service — the application
+   the paper motivates its analysis with.
+
+   A provider runs the Fig. 3 tandem as its backbone at a base load and
+   receives a stream of conference requests, each needing an end-to-end
+   deadline across the whole chain.  The CAC admits a request only when
+   the chosen delay analysis can prove every admitted connection's
+   bound.  A tighter analysis therefore monetizes directly as admitted
+   connections.
+
+   Run with:  dune exec examples/admission_control.exe *)
+
+let () =
+  let n = 4 in
+  let base_load = 0.4 in
+  let deadline = 20. in
+  let t = Tandem.make ~n ~utilization:base_load () in
+  let servers = Network.servers t.network in
+  let base = Network.flows t.network in
+  (* 12 conference requests, each a (sigma = 1, rho = 0.03) stream over
+     the whole chain with a 20-time-unit deadline. *)
+  let candidates =
+    List.init 12 (fun i ->
+        Flow.make ~id:(1000 + i)
+          ~name:(Printf.sprintf "conf%d" i)
+          ~arrival:(Arrival.paper_source ~sigma:1. ~rho:0.03)
+          ~route:(List.init n (fun k -> k))
+          ~deadline ())
+  in
+  Printf.printf
+    "Backbone: tandem of %d switches at base load %g; %d conference\n\
+     requests with end-to-end deadline %g.\n\n"
+    n base_load (List.length candidates) deadline;
+  let tbl =
+    Table.create
+      ~header:[ "analysis"; "admitted"; "admitted rate"; "backbone util" ]
+  in
+  List.iter
+    (fun method_ ->
+      let outcome =
+        Admission.run ~servers ~base ~candidates ~method_
+          ~strategy:(Pairing.Along_route 0) ()
+      in
+      let net_after =
+        Network.make ~servers ~flows:(base @ outcome.admitted)
+      in
+      Table.add_row tbl
+        [
+          Engine.method_name method_;
+          string_of_int (List.length outcome.admitted);
+          Table.float_cell outcome.admitted_rate;
+          Table.float_cell (Network.max_utilization net_after);
+        ])
+    [ Engine.Service_curve; Engine.Decomposed; Engine.Integrated ];
+  Table.print tbl;
+  print_endline
+    "\nThe integrated analysis proves tighter bounds, so the same plant\n\
+     carries more deadline-guaranteed connections (the paper's Sec. 1\n\
+     utilization argument)."

@@ -1,0 +1,47 @@
+(* Load the shipped scenario files, print full reports, and exercise
+   the static-priority integrated engine on the plant network.
+
+   Run with:  dune exec examples/scenario_tour.exe
+   (paths are relative to the repository root)            *)
+
+let scenario name = Filename.concat "examples/scenarios" name
+
+let () =
+  (* 1. The campus backbone: FIFO, analyzed with the full report. *)
+  let campus = Scenario.load (scenario "campus.scn") in
+  print_string (Report.decomposed (Decomposed.analyze campus));
+  print_newline ();
+  print_string
+    (Report.integrated (Integrated.analyze ~strategy:Pairing.Greedy campus));
+  print_newline ();
+
+  (* 2. The industrial plant: homogeneous static-priority servers. *)
+  let plant = Scenario.load (scenario "priority_plant.scn") in
+  Format.printf "%a@.@." Network.pp plant;
+  let dd = Decomposed.analyze plant in
+  let sp = Integrated_sp.analyze ~strategy:Pairing.Greedy plant in
+  let tbl =
+    Table.create
+      ~header:[ "flow"; "prio"; "deadline"; "SP-decomposed"; "SP-integrated"; "ok" ]
+  in
+  List.iter
+    (fun (f : Flow.t) ->
+      let d = Decomposed.flow_delay dd f.id in
+      let i = Integrated_sp.flow_delay sp f.id in
+      Table.add_row tbl
+        [
+          f.name;
+          string_of_int f.priority;
+          (match f.deadline with Some d -> Table.float_cell d | None -> "-");
+          Table.float_cell d;
+          Table.float_cell i;
+          (match f.deadline with
+          | Some dl -> if i <= dl then "yes" else "NO"
+          | None -> "-");
+        ])
+    (Network.flows plant);
+  Table.print tbl;
+  print_endline
+    "\nThe control loops (priority 0) meet their deadlines with large \
+     margins; the\nintegrated SP bounds are tighter than the per-server \
+     decomposition for every\nclass."

@@ -1,0 +1,1 @@
+lib/core/admission.ml: Decomposed Engine Fifo_theta Float Float_ops Flow Integrated Integrated_sp List Network Propagation Service_curve_method

@@ -1,0 +1,1 @@
+lib/core/admission.mli: Engine Flow Options Pairing Server

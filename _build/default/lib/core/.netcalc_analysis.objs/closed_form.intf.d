@@ -1,0 +1,1 @@
+lib/core/closed_form.mli:

@@ -1,0 +1,1 @@
+lib/core/decomposed.ml: Fifo Float Flow Hashtbl List Local_bounds Network Options Propagation Pwl Server

@@ -1,0 +1,1 @@
+lib/core/decomposed.mli: Network Options Pwl

@@ -1,0 +1,1 @@
+lib/core/edf_allocation.ml: Decomposed Discipline Edf Float Float_ops Flow Hashtbl List Network Option Printf Propagation Pwl Server

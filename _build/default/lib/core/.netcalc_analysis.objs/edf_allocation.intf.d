@@ -1,0 +1,1 @@
+lib/core/edf_allocation.mli: Network

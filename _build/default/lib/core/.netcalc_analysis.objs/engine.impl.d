@@ -1,0 +1,1 @@
+lib/core/engine.ml: Decomposed Fifo_theta Float Integrated Integrated_sp Service_curve_method

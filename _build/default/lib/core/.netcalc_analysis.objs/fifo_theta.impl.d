@@ -1,0 +1,1 @@
+lib/core/fifo_theta.ml: Array Decomposed Deviation Flow List Minplus Network Pwl Server Service

@@ -1,0 +1,1 @@
+lib/core/fifo_theta.mli: Network Options

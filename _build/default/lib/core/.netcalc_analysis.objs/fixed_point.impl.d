@@ -1,0 +1,1 @@
+lib/core/fixed_point.ml: Float Flow Hashtbl List Local_bounds Network Options Propagation Pwl Server

@@ -1,0 +1,1 @@
+lib/core/fixed_point.mli: Network Options

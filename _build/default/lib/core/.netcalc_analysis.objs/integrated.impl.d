@@ -1,0 +1,1 @@
+lib/core/integrated.ml: Array Discipline Fifo Flow Hashtbl List Network Options Pair_analysis Pairing Printf Propagation Pwl Server

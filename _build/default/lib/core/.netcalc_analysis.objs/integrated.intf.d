@@ -1,0 +1,1 @@
+lib/core/integrated.mli: Network Options Pairing Pwl

@@ -1,0 +1,1 @@
+lib/core/integrated_sp.ml: Array Discipline Flow Hashtbl List Network Options Pair_analysis Pairing Printf Propagation Pwl Server Static_priority

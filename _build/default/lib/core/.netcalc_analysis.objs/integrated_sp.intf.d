@@ -1,0 +1,1 @@
+lib/core/integrated_sp.mli: Network Options Pairing Pwl

@@ -1,0 +1,1 @@
+lib/core/local_bounds.ml: Discipline Edf Fifo Flow Gps List Network Options Printf Propagation Pwl Server Static_priority

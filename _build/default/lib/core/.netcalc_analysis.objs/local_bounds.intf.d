@@ -1,0 +1,1 @@
+lib/core/local_bounds.mli: Flow Network Options Propagation

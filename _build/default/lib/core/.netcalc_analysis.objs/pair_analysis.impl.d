@@ -1,0 +1,1 @@
+lib/core/pair_analysis.ml: Deviation Fifo Float Float_ops List Printf Pwl Service

@@ -1,0 +1,1 @@
+lib/core/pair_analysis.mli: Pwl

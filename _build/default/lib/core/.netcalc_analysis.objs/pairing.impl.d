@@ -1,0 +1,1 @@
+lib/core/pairing.ml: Array Flow Format Hashtbl List Network Printf Server

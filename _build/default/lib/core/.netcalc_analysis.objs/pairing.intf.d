@@ -1,0 +1,1 @@
+lib/core/pairing.mli: Format Network

@@ -1,0 +1,1 @@
+lib/core/propagation.ml: Flow Hashtbl List Network Options Pwl Server

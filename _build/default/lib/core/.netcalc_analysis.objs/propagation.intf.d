@@ -1,0 +1,1 @@
+lib/core/propagation.mli: Flow Network Options Pwl

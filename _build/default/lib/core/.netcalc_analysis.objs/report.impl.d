@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Decomposed Discipline Float Flow Format Integrated List Network Pairing Server Service_curve_method String Table

@@ -1,0 +1,1 @@
+lib/core/service_curve_method.ml: Decomposed Deviation Discipline Fifo Flow Gps List Minplus Network Pwl Static_priority

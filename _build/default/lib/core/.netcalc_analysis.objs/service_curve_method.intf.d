@@ -1,0 +1,1 @@
+lib/core/service_curve_method.mli: Network Options Pwl

@@ -1,0 +1,55 @@
+type outcome = {
+  admitted : Flow.t list;
+  rejected : Flow.t list;
+  admitted_rate : float;
+}
+
+let deadline_met bounds flows =
+  List.for_all
+    (fun (f : Flow.t) ->
+      match f.deadline with
+      | None -> true
+      | Some dl -> (
+          match List.assoc_opt f.id bounds with
+          | Some b -> Float.is_finite b && b <= dl +. Float_ops.eps
+          | None -> false))
+    flows
+
+let bounds_for ?options ?strategy ~servers flows method_ =
+  let net = Network.make ~servers ~flows in
+  match (method_ : Engine.method_) with
+  | Engine.Decomposed -> Decomposed.all_flow_delays (Decomposed.analyze ?options net)
+  | Engine.Service_curve ->
+      Service_curve_method.all_flow_delays
+        (Service_curve_method.analyze ?options net)
+  | Engine.Integrated ->
+      Integrated.all_flow_delays (Integrated.analyze ?options ?strategy net)
+  | Engine.Integrated_sp ->
+      Integrated_sp.all_flow_delays
+        (Integrated_sp.analyze ?options ?strategy net)
+  | Engine.Fifo_theta ->
+      Fifo_theta.all_flow_delays (Fifo_theta.analyze ?options net)
+
+let run ?options ?strategy ~servers ~base ~candidates ~method_ () =
+  let try_with flows =
+    match bounds_for ?options ?strategy ~servers flows method_ with
+    | bounds -> deadline_met bounds flows
+    | exception Network.Cyclic -> false
+  in
+  let step (admitted, rejected) (cand : Flow.t) =
+    match cand.deadline with
+    | None -> (admitted, cand :: rejected)
+    | Some _ ->
+        let flows = base @ List.rev (cand :: admitted) in
+        if try_with flows then (cand :: admitted, rejected)
+        else (admitted, cand :: rejected)
+  in
+  let admitted_rev, rejected_rev =
+    List.fold_left step ([], []) candidates
+  in
+  let admitted = List.rev admitted_rev in
+  {
+    admitted;
+    rejected = List.rev rejected_rev;
+    admitted_rate = Propagation.total_rate admitted;
+  }

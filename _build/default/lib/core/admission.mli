@@ -1,0 +1,34 @@
+(** Connection admission control — the application the paper motivates
+    its analysis with (Sec. 1: "admission control mechanisms that in
+    turn use end-to-end delay computation algorithms").
+
+    Candidate connections carry end-to-end deadlines; a connection is
+    admitted when, with it added, the chosen analysis method still
+    proves {e every} admitted connection's bound below its deadline.
+    A tighter analysis admits more connections on the same plant —
+    the utilization benefit of Algorithm Integrated. *)
+
+type outcome = {
+  admitted : Flow.t list;      (** in the order they were accepted *)
+  rejected : Flow.t list;
+  admitted_rate : float;       (** sum of admitted long-run rates *)
+}
+
+val run :
+  ?options:Options.t ->
+  ?strategy:Pairing.strategy ->
+  servers:Server.t list ->
+  base:Flow.t list ->
+  candidates:Flow.t list ->
+  method_:Engine.method_ ->
+  unit ->
+  outcome
+(** Sequentially test each candidate (first-come-first-served, no
+    backtracking, as an online CAC would).  [base] flows are part of
+    the network but have no deadline requirement unless they carry one.
+    Candidates without a deadline are rejected outright.
+    @raise Invalid_argument on duplicate flow ids. *)
+
+val deadline_met : (int * float) list -> Flow.t list -> bool
+(** [deadline_met bounds flows]: every flow with a deadline has a
+    finite bound at most its deadline. *)

@@ -1,0 +1,39 @@
+let check n sigma rho =
+  if n < 2 then invalid_arg "Closed_form: n < 2";
+  if sigma <= 0. || rho < 0. then invalid_arg "Closed_form: bad source"
+
+let decomposed_locals ~n ~sigma ~rho =
+  check n sigma rho;
+  if 4. *. rho >= 1. then List.init n (fun _ -> infinity)
+  else begin
+    (* E_0 = 3 sigma; E_k = 4 sigma + rho (P_(k-1) + E_(k-1)). *)
+    let locals = Array.make n 0. in
+    locals.(0) <- 3. *. sigma;
+    let prefix = ref locals.(0) in
+    for k = 1 to n - 1 do
+      locals.(k) <- (4. *. sigma) +. (rho *. (!prefix +. locals.(k - 1)));
+      prefix := !prefix +. locals.(k)
+    done;
+    Array.to_list locals
+  end
+
+let decomposed ~n ~sigma ~rho =
+  List.fold_left ( +. ) 0. (decomposed_locals ~n ~sigma ~rho)
+
+let service_curve ~n ~sigma ~rho =
+  check n sigma rho;
+  if 4. *. rho >= 1. || 3. *. rho >= 1. then infinity
+  else begin
+    let locals = Array.of_list (decomposed_locals ~n ~sigma ~rho) in
+    (* Port 0: cross = A_0 + B_0 (fresh).  Port k >= 1: cross =
+       B_(k-1) with burst sigma + rho E_(k-1), plus fresh A_k, B_k. *)
+    let latency_0 = 2. *. sigma /. (1. -. (2. *. rho)) in
+    let latencies =
+      List.init (n - 1) (fun i ->
+          let k = i + 1 in
+          ((3. *. sigma) +. (rho *. locals.(k - 1))) /. (1. -. (3. *. rho)))
+    in
+    latency_0
+    +. List.fold_left ( +. ) 0. latencies
+    +. (sigma /. (1. -. (3. *. rho)))
+  end

@@ -1,0 +1,43 @@
+(** Closed-form delay recurrences for the tandem of Fig. 3.
+
+    The paper evaluates its general algorithms through closed forms
+    specialized to the tandem topology (derived in the unavailable
+    technical report [25]; the conference excerpts are corrupted by
+    OCR).  This module re-derives the Decomposed and Service-Curve
+    closed forms from first principles for the {e classic} token-bucket
+    case ([peak = infinity], all rates 1) and serves as an independent
+    cross-check of the general engines in the test suite.
+
+    Derivation sketch (Decomposed, rate-1 FIFO servers, pure token
+    buckets):  the local delay at a server equals the total burst
+    arriving there ([sup (sum sigma_i + sum rho_i t - t) = sum sigma_i]
+    at [t = 0] under stability), and a flow's burst after a hop with
+    local delay [E] grows to [sigma + rho E].  With the Fig. 3
+    population (Connection 0 plus [A_j, B_j, B_(j-1)] at middle port
+    [j]) this gives
+
+    - [E_0 = 3 sigma]                                 (3 fresh flows)
+    - [E_k = 4 sigma + rho (P_(k-1) + E_(k-1))], [1 <= k <= n-1]
+
+    where [P_k = E_0 + ... + E_k] is Connection 0's accumulated delay
+    (its burst at port [k+1] is [sigma + rho P_k]; [B_(k-1)]'s burst is
+    [sigma + rho E_(k-1)]), except that the final port [n-1] carries
+    [B_(n-1)] but no [A]- or [B]-flow beyond the chain; the generator
+    keeps [A_(n-1)] and [B_(n-1)] entering there, so the recurrence
+    holds for all [k >= 1].  [D_D = P_(n-1)].
+
+    For the Service-Curve method the leftover curve at port [k] against
+    cross burst [S_k] and cross rate [r_k] is the rate-latency curve
+    [beta_(1 - r_k, S_k / (1 - r_k))]; convolution adds latencies and
+    takes the minimum rate, so
+    [D_SC = sum_k S_k / (1 - r_k) + sigma / (1 - max_k r_k)]. *)
+
+val decomposed_locals : n:int -> sigma:float -> rho:float -> float list
+(** The per-port local delays [E_0 .. E_(n-1)]; [infinity] everywhere
+    when some port is unstable. *)
+
+val decomposed : n:int -> sigma:float -> rho:float -> float
+(** [D_D] for Connection 0. *)
+
+val service_curve : n:int -> sigma:float -> rho:float -> float
+(** [D_SC] for Connection 0. *)

@@ -1,0 +1,109 @@
+type t = {
+  net : Network.t;
+  options : Options.t;
+  envs : Propagation.env_table;
+  locals : (int * int, float) Hashtbl.t; (* (flow, server) -> local bound *)
+  poisoned : (int * int, unit) Hashtbl.t; (* hops with unbounded envelope *)
+}
+
+let network t = t.net
+
+let analyze ?(options = Options.default) net =
+  let order = Network.topological_order net in
+  let envs = Propagation.create net in
+  let locals = Hashtbl.create 64 in
+  let poisoned = Hashtbl.create 4 in
+  let poison_rest (f : Flow.t) ~from =
+    let rec mark = function
+      | s :: rest ->
+          if s = from then
+            List.iter (fun s' -> Hashtbl.replace poisoned (f.id, s') ()) rest
+          else mark rest
+      | [] -> ()
+    in
+    mark f.route
+  in
+  List.iter
+    (fun sid ->
+      let present = Network.flows_at net sid in
+      if present <> [] then begin
+        let unbounded =
+          List.exists (fun (f : Flow.t) -> Hashtbl.mem poisoned (f.id, sid))
+            present
+        in
+        if unbounded then
+          List.iter
+            (fun (f : Flow.t) ->
+              Hashtbl.replace locals (f.id, sid) infinity;
+              poison_rest f ~from:sid)
+            present
+        else begin
+          let with_envs =
+            List.map
+              (fun (f : Flow.t) ->
+                (f, Propagation.get envs ~flow:f.id ~server:sid))
+              present
+          in
+          let delays = Local_bounds.at_server ~options net envs ~server:sid in
+          List.iter2
+            (fun ((f : Flow.t), env) ((f' : Flow.t), d) ->
+              assert (f.id = f'.id);
+              Hashtbl.replace locals (f.id, sid) d;
+              if d = infinity then poison_rest f ~from:sid
+              else Propagation.set_next envs f ~after:sid (Pwl.shift_left env d))
+            with_envs delays
+        end
+      end)
+    order;
+  { net; options; envs; locals; poisoned }
+
+let local_delay t ~flow ~server =
+  match Hashtbl.find_opt t.locals (flow, server) with
+  | Some d -> d
+  | None -> raise Not_found
+
+let flow_delay t id =
+  let f = Network.flow t.net id in
+  List.fold_left (fun acc s -> acc +. local_delay t ~flow:id ~server:s) 0.
+    f.route
+
+let all_flow_delays t =
+  Network.flows t.net
+  |> List.map (fun (f : Flow.t) -> (f.id, flow_delay t f.id))
+  |> List.sort compare
+
+let envelope_at t ~flow ~server =
+  if Hashtbl.mem t.poisoned (flow, server) then
+    invalid_arg "Decomposed.envelope_at: unbounded envelope (unstable upstream)"
+  else Propagation.get t.envs ~flow ~server
+
+let server_delay t sid =
+  Network.flows_at t.net sid
+  |> List.map (fun (f : Flow.t) -> local_delay t ~flow:f.id ~server:sid)
+  |> List.fold_left Float.max 0.
+
+let server_aggregate t sid =
+  let present = Network.flows_at t.net sid in
+  if present = [] then None
+  else if
+    List.exists (fun (f : Flow.t) -> Hashtbl.mem t.poisoned (f.id, sid)) present
+  then Some None
+  else
+    Some
+      (Some
+         (Propagation.aggregate_input ~options:t.options t.net t.envs
+            ~server:sid ~flows:present))
+
+let server_backlog t sid =
+  match server_aggregate t sid with
+  | None -> 0.
+  | Some None -> infinity
+  | Some (Some agg) ->
+      Fifo.backlog ~rate:(Network.server t.net sid).Server.rate ~agg
+
+let server_busy_period t sid =
+  match server_aggregate t sid with
+  | None -> 0.
+  | Some None -> infinity
+  | Some (Some agg) ->
+      Fifo.busy_period ~rate:(Network.server t.net sid).Server.rate ~agg

@@ -1,0 +1,53 @@
+(** Algorithm Decomposed — the decomposition-based baseline
+    (Cruz [8, 9]; paper Sec. 1.1 and 4.2).
+
+    The network is analyzed one server at a time in topological order:
+    the local worst-case delay is computed from the aggregate input
+    envelope, each flow's envelope is inflated by that local delay
+    (Cruz's output characterization), and the end-to-end bound is the
+    sum of the local bounds along the route.  This over-estimates
+    because it charges every flow the worst case at {e every} hop.
+
+    FIFO servers use the aggregate bound [sup (G t / C - t)]; static
+    priority, EDF and GPS servers use the corresponding substrate
+    bounds ({!Static_priority}, {!Edf}, {!Gps}), making this engine a
+    general-purpose decomposition analyzer. *)
+
+type t
+
+val analyze : ?options:Options.t -> Network.t -> t
+(** Runs the sweep.  Unstable servers yield [infinity] local delays,
+    which propagate to [infinity] end-to-end bounds (envelopes after an
+    unstable server are unconstrained; flows that avoid unstable
+    servers keep finite bounds).
+    @raise Network.Cyclic on non-feedforward routing.
+    @raise Invalid_argument when an EDF server carries a flow without a
+    deadline. *)
+
+val network : t -> Network.t
+
+val flow_delay : t -> int -> float
+(** End-to-end delay bound of a flow (by id). *)
+
+val all_flow_delays : t -> (int * float) list
+(** [(flow id, bound)] for every flow, in id order. *)
+
+val local_delay : t -> flow:int -> server:int -> float
+(** The flow's local delay bound at one of its hops. *)
+
+val envelope_at : t -> flow:int -> server:int -> Pwl.t
+(** Input envelope of a flow at a hop, as propagated by this analysis
+    (also consumed by Algorithm Service Curve for cross traffic). *)
+
+val server_delay : t -> int -> float
+(** Worst local delay bound over the flows at a server ([0.] for an
+    idle server). *)
+
+val server_backlog : t -> int -> float
+(** Worst-case backlog bound at a server,
+    [sup_t (G t - C t)^+] for its propagated aggregate input envelope —
+    the buffer size that guarantees zero loss ([0.] for an idle
+    server, [infinity] past an unstable one). *)
+
+val server_busy_period : t -> int -> float
+(** Busy-period bound at a server ([0.] for an idle server). *)

@@ -1,0 +1,43 @@
+type method_ = Decomposed | Service_curve | Integrated | Integrated_sp | Fifo_theta
+
+let all_methods = [ Decomposed; Service_curve; Integrated; Integrated_sp; Fifo_theta ]
+
+let method_name = function
+  | Decomposed -> "Decomposed"
+  | Service_curve -> "Service Curve"
+  | Integrated -> "Integrated"
+  | Integrated_sp -> "Integrated-SP"
+  | Fifo_theta -> "FIFO-theta"
+
+let flow_delay ?options ?strategy net method_ flow =
+  match method_ with
+  | Decomposed -> Decomposed.flow_delay (Decomposed.analyze ?options net) flow
+  | Service_curve ->
+      Service_curve_method.flow_delay (Service_curve_method.analyze ?options net) flow
+  | Integrated ->
+      Integrated.flow_delay (Integrated.analyze ?options ?strategy net) flow
+  | Integrated_sp ->
+      Integrated_sp.flow_delay (Integrated_sp.analyze ?options ?strategy net) flow
+  | Fifo_theta -> Fifo_theta.flow_delay (Fifo_theta.analyze ?options net) flow
+
+type comparison = {
+  flow : int;
+  decomposed : float;
+  service_curve : float;
+  integrated : float;
+  fifo_theta : float;
+}
+
+let compare_all ?options ?strategy ?(with_theta = true) net flow =
+  {
+    flow;
+    decomposed = flow_delay ?options net Decomposed flow;
+    service_curve = flow_delay ?options net Service_curve flow;
+    integrated = flow_delay ?options ?strategy net Integrated flow;
+    fifo_theta =
+      (if with_theta then flow_delay ?options net Fifo_theta flow else nan);
+  }
+
+let relative_improvement dx dy =
+  if not (Float.is_finite dx) || not (Float.is_finite dy) || dx = 0. then nan
+  else (dx -. dy) /. dx

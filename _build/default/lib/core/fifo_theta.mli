@@ -1,0 +1,35 @@
+(** FIFO service-curve-family method — the extension beyond the paper
+    (DESIGN.md §3.5).
+
+    For a FIFO server of rate [C] with cross-traffic envelope
+    [alpha_c], every [theta >= 0] yields a valid per-flow service curve
+    [beta_theta t = (C t - alpha_c (t - theta))^+ 1{t > theta}]
+    (Cruz 1995; Le Boudec-Thiran Prop. 6.2.1).  [theta = 0] is the
+    leftover curve used by Algorithm Service Curve; for token-bucket
+    cross traffic the choice [theta = sigma_c / C] gives the strictly
+    better rate-latency curve [beta_{C - rho_c, sigma_c / C}].
+
+    This method composes one family member per hop and tunes the
+    [theta] vector by per-hop candidate enumeration plus coordinate
+    descent on the end-to-end horizontal deviation.  Cross-traffic
+    envelopes come from a {!Decomposed} propagation, as in
+    {!Service_curve_method} — so the comparison against that method
+    isolates exactly the value of the [theta] degree of freedom. *)
+
+type t
+
+val analyze : ?options:Options.t -> Network.t -> t
+(** @raise Network.Cyclic on non-feedforward routing. *)
+
+val network : t -> Network.t
+
+val flow_delay : ?sweeps:int -> t -> int -> float
+(** Delay bound for a flow after tuning thetas ([sweeps] coordinate-
+    descent passes, default 2).  Never worse than the theta = 0
+    (Algorithm Service Curve) bound, because theta = 0 is always among
+    the candidates.  [infinity] when a hop is saturated. *)
+
+val all_flow_delays : ?sweeps:int -> t -> (int * float) list
+
+val thetas : ?sweeps:int -> t -> flow:int -> float list
+(** The tuned per-hop theta vector (for inspection/tests). *)

@@ -1,0 +1,156 @@
+type t = {
+  net : Network.t;
+  pairing : Pairing.subnet array;
+  envs : Propagation.env_table;
+  contributions : (int * int, float) Hashtbl.t; (* (flow, subnet idx) *)
+  poisoned : (int * int, unit) Hashtbl.t;       (* (flow, server) *)
+}
+
+let network t = t.net
+let pairing t = Array.to_list t.pairing
+
+let require_fifo net =
+  List.iter
+    (fun (s : Server.t) ->
+      if s.discipline <> Discipline.Fifo then
+        invalid_arg
+          (Printf.sprintf
+             "Integrated: server %s is %s; the integrated method is derived \
+              for FIFO servers only"
+             s.name
+             (Discipline.to_string s.discipline)))
+    (Network.servers net)
+
+(* Sum of the given flows' envelopes at [server], honoring the link-cap
+   option (each same-upstream group capped by the upstream rate). *)
+let class_envelope options net envs ~server flows =
+  if flows = [] then Pwl.zero
+  else Propagation.aggregate_input ~options net envs ~server ~flows
+
+let poison_rest poisoned (f : Flow.t) ~from =
+  let rec mark = function
+    | s :: rest ->
+        if s = from then
+          List.iter (fun s' -> Hashtbl.replace poisoned (f.id, s') ()) rest
+        else mark rest
+    | [] -> ()
+  in
+  mark f.route
+
+let analyze_with_pairing ?(options = Options.default) net pairing_list =
+  require_fifo net;
+  Pairing.validate net pairing_list;
+  let pairing = Array.of_list pairing_list in
+  let envs = Propagation.create net in
+  let contributions = Hashtbl.create 64 in
+  let poisoned = Hashtbl.create 4 in
+  let record idx (f : Flow.t) ~entry ~last d =
+    Hashtbl.replace contributions (f.id, idx) d;
+    if d = infinity then poison_rest poisoned f ~from:last
+    else
+      let env = Propagation.get envs ~flow:f.id ~server:entry in
+      Propagation.set_next envs f ~after:last (Pwl.shift_left env d)
+  in
+  Array.iteri
+    (fun idx subnet ->
+      match subnet with
+      | Pairing.Single u ->
+          let present = Network.flows_at net u in
+          if present <> [] then begin
+            let bad =
+              List.exists
+                (fun (f : Flow.t) -> Hashtbl.mem poisoned (f.id, u))
+                present
+            in
+            let d =
+              if bad then infinity
+              else
+                Fifo.local_delay ~rate:(Network.server net u).Server.rate
+                  ~agg:
+                    (Propagation.aggregate_input ~options net envs ~server:u
+                       ~flows:present)
+            in
+            List.iter (fun f -> record idx f ~entry:u ~last:u d) present
+          end
+      | Pairing.Pair (u, v) ->
+          let at_u = Network.flows_at net u and at_v = Network.flows_at net v in
+          let s12, s1 =
+            List.partition
+              (fun (f : Flow.t) -> Flow.next_hop f u = Some v)
+              at_u
+          in
+          let s2 =
+            List.filter
+              (fun (f : Flow.t) ->
+                not (List.exists (fun (g : Flow.t) -> g.id = f.id) s12))
+              at_v
+          in
+          let bad =
+            List.exists (fun (f : Flow.t) -> Hashtbl.mem poisoned (f.id, u))
+              (s12 @ s1)
+            || List.exists (fun (f : Flow.t) -> Hashtbl.mem poisoned (f.id, v))
+                 s2
+          in
+          let result =
+            if bad then
+              {
+                Pair_analysis.d_pair = infinity;
+                d1 = infinity;
+                d2 = infinity;
+                busy1 = infinity;
+                busy2 = infinity;
+              }
+            else
+              Pair_analysis.analyze
+                {
+                  c1 = (Network.server net u).Server.rate;
+                  c2 = (Network.server net v).Server.rate;
+                  s12 = [ class_envelope options net envs ~server:u s12 ];
+                  s1 = [ class_envelope options net envs ~server:u s1 ];
+                  s2 = [ class_envelope options net envs ~server:v s2 ];
+                }
+          in
+          List.iter
+            (fun f -> record idx f ~entry:u ~last:v result.Pair_analysis.d_pair)
+            s12;
+          List.iter
+            (fun f -> record idx f ~entry:u ~last:u result.Pair_analysis.d1)
+            s1;
+          List.iter
+            (fun f -> record idx f ~entry:v ~last:v result.Pair_analysis.d2)
+            s2)
+    pairing;
+  { net; pairing; envs; contributions; poisoned }
+
+let analyze ?options ?(strategy = Pairing.Greedy) net =
+  analyze_with_pairing ?options net (Pairing.build net strategy)
+
+let flow_delay t id =
+  let total = ref 0. in
+  Array.iteri
+    (fun idx _ ->
+      match Hashtbl.find_opt t.contributions (id, idx) with
+      | Some d -> total := !total +. d
+      | None -> ())
+    t.pairing;
+  !total
+
+let all_flow_delays t =
+  Network.flows t.net
+  |> List.map (fun (f : Flow.t) -> (f.id, flow_delay t f.id))
+  |> List.sort compare
+
+let subnet_delay t ~flow ~subnet =
+  let idx = ref None in
+  Array.iteri (fun i s -> if s = subnet then idx := Some i) t.pairing;
+  match !idx with
+  | None -> raise Not_found
+  | Some i -> (
+      match Hashtbl.find_opt t.contributions (flow, i) with
+      | Some d -> d
+      | None -> raise Not_found)
+
+let envelope_at t ~flow ~server =
+  if Hashtbl.mem t.poisoned (flow, server) then
+    invalid_arg "Integrated.envelope_at: unbounded envelope"
+  else Propagation.get t.envs ~flow ~server

@@ -1,0 +1,44 @@
+(** Algorithm Integrated — the paper's contribution (Fig. 2).
+
+    The feedforward network is partitioned into subnetworks of at most
+    two FIFO servers ({!Pairing}); subnetworks are visited in
+    topological order; each is analyzed jointly ({!Pair_analysis}),
+    producing the delay its flows suffer {e across the whole
+    subnetwork} and their output envelopes; end-to-end bounds are the
+    sums of per-subnetwork delays along each route.
+
+    Because a pair is analyzed jointly, a burst is only "paid" once per
+    pair instead of once per server, and the transit traffic between
+    the paired servers is bounded by the physical link rate — the two
+    effects that make this method dominate Algorithm Decomposed.
+
+    Only FIFO servers are supported (the paper derives the closed-form
+    pair bound for FIFO; extending to static priority is listed as
+    future work — see {!Static_priority} for the single-server SP
+    machinery). *)
+
+type t
+
+val analyze :
+  ?options:Options.t -> ?strategy:Pairing.strategy -> Network.t -> t
+(** [strategy] defaults to [Pairing.Greedy].
+    @raise Network.Cyclic on non-feedforward routing.
+    @raise Invalid_argument when the network has a non-FIFO server. *)
+
+val analyze_with_pairing : ?options:Options.t -> Network.t -> Pairing.t -> t
+(** Use an externally supplied (validated) pairing. *)
+
+val network : t -> Network.t
+val pairing : t -> Pairing.t
+
+val flow_delay : t -> int -> float
+(** End-to-end bound for a flow. *)
+
+val all_flow_delays : t -> (int * float) list
+
+val subnet_delay : t -> flow:int -> subnet:Pairing.subnet -> float
+(** The delay contribution a flow picks up in one subnetwork of the
+    pairing.  @raise Not_found if the flow does not cross it. *)
+
+val envelope_at : t -> flow:int -> server:int -> Pwl.t
+(** Input envelope of a flow at a hop as propagated by this analysis. *)

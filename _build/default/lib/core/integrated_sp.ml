@@ -1,0 +1,250 @@
+type t = {
+  net : Network.t;
+  pairing : Pairing.subnet array;
+  envs : Propagation.env_table;
+  contributions : (int * int, float) Hashtbl.t; (* (flow, subnet idx) *)
+  poisoned : (int * int, unit) Hashtbl.t;       (* (flow, server) *)
+}
+
+let network t = t.net
+let pairing t = Array.to_list t.pairing
+
+let require_sp_or_fifo net =
+  let kinds =
+    Network.servers net
+    |> List.map (fun (s : Server.t) ->
+           match s.discipline with
+           | Discipline.Static_priority | Discipline.Fifo -> s.discipline
+           | d ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Integrated_sp: server %s is %s; only FIFO/static-priority \
+                     servers are supported"
+                    s.name (Discipline.to_string d)))
+    |> List.sort_uniq compare
+  in
+  if List.length kinds > 1 then
+    invalid_arg
+      "Integrated_sp: mixing FIFO and static-priority servers is not \
+       supported (priority classes would not be consistent across a pair)"
+
+(* Priority of a flow at a server: at a FIFO server every flow is in
+   one class. *)
+let class_of net sid (f : Flow.t) =
+  match (Network.server net sid).Server.discipline with
+  | Discipline.Fifo -> 0
+  | _ -> f.Flow.priority
+
+let poison_rest poisoned (f : Flow.t) ~from =
+  let rec mark = function
+    | s :: rest ->
+        if s = from then
+          List.iter (fun s' -> Hashtbl.replace poisoned (f.id, s') ()) rest
+        else mark rest
+    | [] -> ()
+  in
+  mark f.route
+
+let sorted_classes net sid flows =
+  flows
+  |> List.map (class_of net sid)
+  |> List.sort_uniq compare
+
+let analyze ?(options = Options.default) ?(strategy = Pairing.Greedy) net =
+  require_sp_or_fifo net;
+  let pairing_list = Pairing.build net strategy in
+  let pairing = Array.of_list pairing_list in
+  let envs = Propagation.create net in
+  let contributions = Hashtbl.create 64 in
+  let poisoned = Hashtbl.create 4 in
+  let env_at (f : Flow.t) sid = Propagation.get envs ~flow:f.id ~server:sid in
+  let agg sid flows =
+    if flows = [] then Pwl.zero
+    else Propagation.aggregate_input ~options net envs ~server:sid ~flows
+  in
+  let record idx (f : Flow.t) ~entry ~last d =
+    Hashtbl.replace contributions (f.id, idx) d;
+    if d = infinity then poison_rest poisoned f ~from:last
+    else
+      Propagation.set_next envs f ~after:last
+        (Pwl.shift_left (env_at f entry) d)
+  in
+  Array.iteri
+    (fun idx subnet ->
+      match subnet with
+      | Pairing.Single u ->
+          let present = Network.flows_at net u in
+          let rate = (Network.server net u).Server.rate in
+          List.iter
+            (fun p ->
+              let mine =
+                List.filter (fun f -> class_of net u f = p) present
+              in
+              let higher =
+                List.filter (fun f -> class_of net u f < p) present
+              in
+              let bad =
+                List.exists
+                  (fun (f : Flow.t) -> Hashtbl.mem poisoned (f.id, u))
+                  (mine @ higher)
+              in
+              let d =
+                if bad then infinity
+                else
+                  Pair_analysis.single_general
+                    ~beta:
+                      (Static_priority.class_service ~rate
+                         ~higher:(agg u higher)
+                         ~blocking:options.Options.sp_blocking ())
+                    ~agg:(agg u mine)
+              in
+              List.iter (fun f -> record idx f ~entry:u ~last:u d) mine)
+            (sorted_classes net u present)
+      | Pairing.Pair (u, v) ->
+          let at_u = Network.flows_at net u and at_v = Network.flows_at net v in
+          let rate_u = (Network.server net u).Server.rate in
+          let rate_v = (Network.server net v).Server.rate in
+          let s12_all, s1_all =
+            List.partition (fun (f : Flow.t) -> Flow.next_hop f u = Some v) at_u
+          in
+          let s2_all =
+            List.filter
+              (fun (f : Flow.t) ->
+                not (List.exists (fun (g : Flow.t) -> g.id = f.id) s12_all))
+              at_v
+          in
+          (* Per-class server-1 delays, filled in urgency order; used
+             to build the transit part of the higher-priority envelope
+             at server 2. *)
+          let d1_by_class = Hashtbl.create 4 in
+          let classes =
+            sorted_classes net u (at_u @ at_v)
+            |> List.filter (fun p ->
+                   List.exists (fun f -> class_of net u f = p) (at_u @ at_v))
+          in
+          List.iter
+            (fun p ->
+              let in_class f = class_of net u f = p in
+              let s12 = List.filter in_class s12_all in
+              let s1 = List.filter in_class s1_all in
+              let s2 = List.filter in_class s2_all in
+              let higher_u =
+                List.filter (fun f -> class_of net u f < p) at_u
+              in
+              let higher_s2 =
+                List.filter (fun (f : Flow.t) -> class_of net v f < p) s2_all
+              in
+              let higher_s12 =
+                List.filter (fun f -> class_of net u f < p) s12_all
+              in
+              let bad =
+                List.exists
+                  (fun (f : Flow.t) -> Hashtbl.mem poisoned (f.id, u))
+                  (s12 @ s1 @ higher_u)
+                || List.exists
+                     (fun (f : Flow.t) -> Hashtbl.mem poisoned (f.id, v))
+                     (s2 @ higher_s2)
+              in
+              let result =
+                if bad then
+                  {
+                    Pair_analysis.d_pair = infinity;
+                    d1 = infinity;
+                    d2 = infinity;
+                    busy1 = infinity;
+                    busy2 = infinity;
+                  }
+                else begin
+                  (* Higher-priority arrivals at server 2: fresh s2
+                     flows with their propagated envelopes, plus the
+                     transit of higher classes through server 1 —
+                     delay-inflated per class and capped by the shared
+                     link as one group. *)
+                  let transit_higher =
+                    match higher_s12 with
+                    | [] -> Pwl.zero
+                    | flows ->
+                        let inflated =
+                          List.map
+                            (fun (f : Flow.t) ->
+                              let q = class_of net u f in
+                              let dq =
+                                match Hashtbl.find_opt d1_by_class q with
+                                | Some d -> d
+                                | None -> infinity
+                              in
+                              if dq = infinity then
+                                Pwl.affine ~y0:0. ~slope:rate_u
+                              else Pwl.shift_left (env_at f u) dq)
+                            flows
+                        in
+                        Pwl.min_pw
+                          (Pwl.affine ~y0:0. ~slope:rate_u)
+                          (Pwl.sum inflated)
+                  in
+                  let h2 = Pwl.add (agg v higher_s2) transit_higher in
+                  let blocking = options.Options.sp_blocking in
+                  let beta1 =
+                    Static_priority.class_service ~rate:rate_u
+                      ~higher:(agg u higher_u) ~blocking ()
+                  in
+                  let beta2 =
+                    Static_priority.class_service ~rate:rate_v ~higher:h2
+                      ~blocking ()
+                  in
+                  if
+                    Pwl.final_slope beta1 <= 0. || Pwl.final_slope beta2 <= 0.
+                  then
+                    {
+                      Pair_analysis.d_pair = infinity;
+                      d1 = infinity;
+                      d2 = infinity;
+                      busy1 = infinity;
+                      busy2 = infinity;
+                    }
+                  else
+                    Pair_analysis.analyze_general
+                      {
+                        link1 = rate_u;
+                        beta1;
+                        beta2;
+                        g12 = agg u s12;
+                        g1 = agg u s1;
+                        g2 = agg v s2;
+                      }
+                end
+              in
+              Hashtbl.replace d1_by_class p result.Pair_analysis.d1;
+              List.iter
+                (fun f ->
+                  record idx f ~entry:u ~last:v result.Pair_analysis.d_pair)
+                s12;
+              List.iter
+                (fun f -> record idx f ~entry:u ~last:u result.Pair_analysis.d1)
+                s1;
+              List.iter
+                (fun f -> record idx f ~entry:v ~last:v result.Pair_analysis.d2)
+                s2)
+            classes)
+    pairing;
+  { net; pairing; envs; contributions; poisoned }
+
+let flow_delay t id =
+  let total = ref 0. in
+  Array.iteri
+    (fun idx _ ->
+      match Hashtbl.find_opt t.contributions (id, idx) with
+      | Some d -> total := !total +. d
+      | None -> ())
+    t.pairing;
+  !total
+
+let all_flow_delays t =
+  Network.flows t.net
+  |> List.map (fun (f : Flow.t) -> (f.id, flow_delay t f.id))
+  |> List.sort compare
+
+let envelope_at t ~flow ~server =
+  if Hashtbl.mem t.poisoned (flow, server) then
+    invalid_arg "Integrated_sp.envelope_at: unbounded envelope"
+  else Propagation.get t.envs ~flow ~server

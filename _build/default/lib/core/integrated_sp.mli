@@ -1,0 +1,37 @@
+(** Algorithm Integrated for static-priority networks — the extension
+    the paper's conclusion announces ({e "We are currently extending
+    the applicability of this approach to the static-priority
+    discipline by deriving the appropriate closed form solutions of
+    the delay formulas"}).
+
+    The pairwise analysis of {!Pair_analysis} generalizes verbatim
+    once each server's constant rate is replaced by the {e leftover
+    service curve} of the analyzed priority class,
+    [(C t - higher t)^+]: within a class, a static-priority server is
+    FIFO, and the class's busy-period geometry is governed by the
+    leftover curve instead of the service line.  Priority classes are
+    analyzed in urgency order (lower number first) so that the
+    higher-priority envelopes entering the second server of a pair are
+    available when a class needs them.
+
+    Every server must use [Discipline.Static_priority], or every
+    server [Discipline.Fifo] (then all flows form one class and this
+    engine coincides with {!Integrated}); mixing the two is rejected
+    because a flow's class would not be consistent across a pair. *)
+
+type t
+
+val analyze :
+  ?options:Options.t -> ?strategy:Pairing.strategy -> Network.t -> t
+(** @raise Network.Cyclic on non-feedforward routing.
+    @raise Invalid_argument when a server is neither FIFO nor
+    static-priority. *)
+
+val network : t -> Network.t
+val pairing : t -> Pairing.t
+
+val flow_delay : t -> int -> float
+val all_flow_delays : t -> (int * float) list
+
+val envelope_at : t -> flow:int -> server:int -> Pwl.t
+(** Input envelope of a flow at a hop as propagated by this analysis. *)

@@ -1,0 +1,48 @@
+type env_table = (int * int, Pwl.t) Hashtbl.t
+
+let create net =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Flow.t) ->
+      Hashtbl.replace table (f.id, Flow.first_hop f) (Flow.source_curve f))
+    (Network.flows net);
+  table
+
+let get table ~flow ~server = Hashtbl.find table (flow, server)
+let set table ~flow ~server env = Hashtbl.replace table (flow, server) env
+
+let set_next table (f : Flow.t) ~after env =
+  match Flow.next_hop f after with
+  | Some s -> set table ~flow:f.id ~server:s env
+  | None -> ()
+
+let aggregate_input ?(options = Options.default) net table ~server ~flows =
+  let env (f : Flow.t) = get table ~flow:f.id ~server in
+  if not options.Options.link_cap then
+    Pwl.sum (List.map env flows)
+  else begin
+    (* Group flows by upstream server; cap each transit group by the
+       upstream link rate (output over any window of length I is at
+       most C_upstream * I). *)
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun (f : Flow.t) ->
+        let key = Flow.prev_hop f server in
+        let cur = try Hashtbl.find groups key with Not_found -> [] in
+        Hashtbl.replace groups key (env f :: cur))
+      flows;
+    Hashtbl.fold
+      (fun key envs acc ->
+        let group_env = Pwl.sum envs in
+        let capped =
+          match key with
+          | None -> group_env
+          | Some upstream ->
+              let rate = (Network.server net upstream).Server.rate in
+              Pwl.min_pw (Pwl.affine ~y0:0. ~slope:rate) group_env
+        in
+        Pwl.add acc capped)
+      groups Pwl.zero
+  end
+
+let total_rate flows = List.fold_left (fun acc f -> acc +. Flow.rate f) 0. flows

@@ -1,0 +1,39 @@
+(** Shared bookkeeping for topological-order analyses.
+
+    Every end-to-end method in this library sweeps the servers (or
+    subnetworks) in topological order, maintaining for each flow the
+    envelope of its traffic {e at the input} of each server on its
+    route.  This module holds that table and the aggregate-input
+    computation, including the optional link-capacity sharpening. *)
+
+type env_table
+
+val create : Network.t -> env_table
+(** A fresh table with each flow's source envelope installed at its
+    first hop. *)
+
+val get : env_table -> flow:int -> server:int -> Pwl.t
+(** Input envelope of a flow at a server.  @raise Not_found when the
+    upstream analysis has not reached this hop yet (a bug in the
+    caller's traversal order). *)
+
+val set : env_table -> flow:int -> server:int -> Pwl.t -> unit
+
+val set_next : env_table -> Flow.t -> after:int -> Pwl.t -> unit
+(** Install a flow's envelope at the hop following [after] on its
+    route; no-op when [after] is the last hop. *)
+
+val aggregate_input :
+  ?options:Options.t ->
+  Network.t ->
+  env_table ->
+  server:int ->
+  flows:Flow.t list ->
+  Pwl.t
+(** Aggregate envelope of the given flows at the input of [server]:
+    the sum of their envelopes, except that with
+    [options.link_cap = true] the flows arriving from a common upstream
+    server are first summed and capped by that upstream link's rate. *)
+
+val total_rate : Flow.t list -> float
+(** Sum of long-run source rates. *)

@@ -1,0 +1,126 @@
+let buffer_add_table buf tbl =
+  Buffer.add_string buf (Table.to_string tbl);
+  Buffer.add_char buf '\n'
+
+let header buf net title =
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (String.make (String.length title) '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Format.asprintf "%a@.@." Network.pp net)
+
+let route_names net (f : Flow.t) =
+  String.concat " -> "
+    (List.map (fun s -> (Network.server net s).Server.name) f.route)
+
+let decomposed a =
+  let net = Decomposed.network a in
+  let buf = Buffer.create 1024 in
+  header buf net "Decomposed (per-server) analysis";
+  let servers = Table.create
+      ~header:[ "server"; "disc"; "rate"; "util"; "local delay"; "backlog"; "busy period" ]
+  in
+  List.iter
+    (fun (s : Server.t) ->
+      Table.add_row servers
+        [
+          s.name;
+          Discipline.to_string s.discipline;
+          Table.float_cell s.rate;
+          Table.float_cell (Network.utilization net s.id);
+          Table.float_cell (Decomposed.server_delay a s.id);
+          Table.float_cell (Decomposed.server_backlog a s.id);
+          Table.float_cell (Decomposed.server_busy_period a s.id);
+        ])
+    (Network.servers net);
+  buffer_add_table buf servers;
+  Buffer.add_char buf '\n';
+  let flows =
+    Table.create ~header:[ "flow"; "route"; "bound"; "per-hop"; "deadline" ]
+  in
+  List.iter
+    (fun (f : Flow.t) ->
+      Table.add_row flows
+        [
+          f.name;
+          route_names net f;
+          Table.float_cell (Decomposed.flow_delay a f.id);
+          String.concat " + "
+            (List.map
+               (fun s ->
+                 Table.float_cell
+                   (Decomposed.local_delay a ~flow:f.id ~server:s))
+               f.route);
+          (match f.deadline with
+          | Some d -> Table.float_cell d
+          | None -> "-");
+        ])
+    (Network.flows net);
+  buffer_add_table buf flows;
+  Buffer.contents buf
+
+let integrated a =
+  let net = Integrated.network a in
+  let buf = Buffer.create 1024 in
+  header buf net "Integrated (pairwise) analysis";
+  Buffer.add_string buf
+    (Format.asprintf "Pairing: %a@.@." Pairing.pp (Integrated.pairing a));
+  let flows =
+    Table.create ~header:[ "flow"; "route"; "bound"; "per-subnetwork" ]
+  in
+  List.iter
+    (fun (f : Flow.t) ->
+      let contributions =
+        List.filter_map
+          (fun subnet ->
+            match Integrated.subnet_delay a ~flow:f.id ~subnet with
+            | d ->
+                Some
+                  (Format.asprintf "%a:%s" Pairing.pp [ subnet ]
+                     (Table.float_cell d))
+            | exception Not_found -> None)
+          (Integrated.pairing a)
+      in
+      Table.add_row flows
+        [
+          f.name;
+          route_names net f;
+          Table.float_cell (Integrated.flow_delay a f.id);
+          String.concat " + " contributions;
+        ])
+    (Network.flows net);
+  buffer_add_table buf flows;
+  Buffer.contents buf
+
+let comparison ?options ?(strategy = Pairing.Greedy) net =
+  let buf = Buffer.create 1024 in
+  header buf net "Method comparison";
+  let dd = Decomposed.analyze ?options net in
+  let sc = Service_curve_method.analyze ?options net in
+  let integ = Integrated.analyze ?options ~strategy net in
+  let tbl =
+    Table.create
+      ~header:
+        [ "flow"; "Decomposed"; "Service Curve"; "Integrated"; "best" ]
+  in
+  List.iter
+    (fun (f : Flow.t) ->
+      let d = Decomposed.flow_delay dd f.id in
+      let s = Service_curve_method.flow_delay sc f.id in
+      let i = Integrated.flow_delay integ f.id in
+      let best =
+        if i <= Float.min d s then "Integrated"
+        else if d <= s then "Decomposed"
+        else "Service Curve"
+      in
+      Table.add_row tbl
+        [
+          f.name;
+          Table.float_cell d;
+          Table.float_cell s;
+          Table.float_cell i;
+          best;
+        ])
+    (Network.flows net);
+  buffer_add_table buf tbl;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/curves/arrival.ml: List Pwl

@@ -1,0 +1,1 @@
+lib/curves/arrival.mli: Format Pwl

@@ -1,0 +1,1 @@
+lib/curves/service.mli: Pwl

@@ -1,0 +1,40 @@
+(** Service curves (paper Sec. 1.2).
+
+    A server offers service curve [beta] to some traffic when, for every
+    [t], the output [W t] satisfies [W t >= (F (x) beta) t] for input
+    [F].  All service curves in this library are convex and
+    nondecreasing, so they compose under min-plus convolution via the
+    exact slope-sort rule (see {!Minplus.conv}). *)
+
+val constant_rate : float -> Pwl.t
+(** [lambda_C : t -> C t], the exact service curve of a work-conserving
+    constant-rate server for its aggregate input. *)
+
+val rate_latency : rate:float -> latency:float -> Pwl.t
+(** [beta_{R,T} : t -> R (t - T)^+], the guaranteed-rate abstraction
+    (GPS/WFQ-style servers). *)
+
+val leftover : rate:float -> cross:Pwl.t -> Pwl.t
+(** [leftover ~rate ~cross = (C t - cross t)^+]: the service available
+    to a tagged flow at a work-conserving server of rate [C] whose
+    competing (cross) traffic is bounded by the concave envelope
+    [cross].  Valid for {e any} work-conserving discipline, including
+    FIFO; this is the induced FIFO service curve used by Algorithm
+    Service Curve (see DESIGN.md §3.2).  The result is convex. *)
+
+val fifo_theta : rate:float -> cross:Pwl.t -> theta:float -> Pwl.t
+(** The FIFO service-curve family (Cruz 1995 / Le Boudec):
+    [beta_theta t = (C t - cross (t - theta))^+ . 1{t > theta}] is a
+    service curve for the tagged flow at a FIFO server of rate [C] for
+    every [theta >= 0].  [theta = 0] recovers {!leftover}.  Larger
+    [theta] trades initial latency for a faster tail — the basis of the
+    the Fifo_theta extension.
+
+    The exact family member is not convex in general (it can jump at
+    [theta]); we return its convex, right-continuous lower bound
+    [(C t - cross (t - theta))^+] truncated to 0 on [\[0, theta\]],
+    which is still a valid (weaker or equal) service curve. *)
+
+val is_service_curve : Pwl.t -> bool
+(** Sanity predicate used in tests: nondecreasing, starts at 0, convex
+    shape. *)

@@ -1,0 +1,1 @@
+lib/pwl/deviation.ml: Float_ops Minplus Pwl

@@ -1,0 +1,1 @@
+lib/pwl/deviation.mli: Pwl

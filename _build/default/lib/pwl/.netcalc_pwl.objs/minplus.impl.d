@@ -1,0 +1,1 @@
+lib/pwl/minplus.ml: Float Float_ops List Pwl

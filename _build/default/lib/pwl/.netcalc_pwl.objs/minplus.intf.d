@@ -1,0 +1,1 @@
+lib/pwl/minplus.mli: Pwl

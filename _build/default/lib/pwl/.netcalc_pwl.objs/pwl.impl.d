@@ -1,0 +1,1 @@
+lib/pwl/pwl.ml: Array Float Float_ops Format List Printf

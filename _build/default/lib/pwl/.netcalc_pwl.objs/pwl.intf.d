@@ -1,0 +1,1 @@
+lib/pwl/pwl.mli: Format

@@ -1,0 +1,18 @@
+
+let hdev ~alpha ~beta =
+  let open Float_ops in
+  if Pwl.final_slope beta <~ Pwl.final_slope alpha then infinity
+  else
+    let beta_inv = Pwl.pseudo_inverse beta in
+    let departure = Pwl.compose ~outer:beta_inv ~inner:alpha in
+    let identity = Pwl.affine ~y0:0. ~slope:1. in
+    Float_ops.positive_part (Pwl.sup_diff departure identity)
+
+let vdev ~alpha ~beta = Float_ops.positive_part (Pwl.sup_diff alpha beta)
+
+let delay_fifo_aggregate ~agg ~rate =
+  if rate <= 0. then invalid_arg "Deviation.delay_fifo_aggregate: rate <= 0";
+  if not (Minplus.stable ~agg ~rate) then infinity
+  else
+    let service = Pwl.affine ~y0:0. ~slope:rate in
+    Float_ops.positive_part (Pwl.sup_diff agg service) /. rate

@@ -1,0 +1,26 @@
+(** Horizontal and vertical deviations between curves.
+
+    For an arrival curve [alpha] and a service curve [beta], the
+    horizontal deviation bounds the delay and the vertical deviation
+    bounds the backlog of any FIFO-per-flow system offering [beta] to
+    traffic constrained by [alpha] (paper Eq. (1); Cruz; Le Boudec). *)
+
+val hdev : alpha:Pwl.t -> beta:Pwl.t -> float
+(** [hdev ~alpha ~beta = sup_{t >= 0} inf { d >= 0 : alpha t <= beta (t + d) }].
+    Computed exactly as the supremum of
+    [beta^{-1}(alpha t) - t] using the upper pseudo-inverse (see
+    {!Pwl.pseudo_inverse}; conservative only on flats of [beta]).
+    Returns [infinity] when [alpha] outgrows [beta]
+    ([final_slope alpha > final_slope beta]), and also when the slopes
+    are equal but the gap never closes. *)
+
+val vdev : alpha:Pwl.t -> beta:Pwl.t -> float
+(** [vdev ~alpha ~beta = sup_{t >= 0} (alpha t - beta t)] — the backlog
+    bound.  [infinity] when [alpha] outgrows [beta]. *)
+
+val delay_fifo_aggregate : agg:Pwl.t -> rate:float -> float
+(** Worst-case delay of a FIFO server of constant rate [rate] whose
+    {e aggregate} input is constrained by [agg]:
+    [sup_{t >= 0} (agg t / rate - t)]^+.  This is the single-server bound
+    used by Algorithm Decomposed, equal to [hdev ~alpha:agg
+    ~beta:(affine 0 rate)] but cheaper.  [infinity] if unstable. *)

@@ -1,0 +1,110 @@
+
+(* Convex (x) convex: sort the slope pieces of both operands by
+   increasing slope and concatenate, starting from the sum of the
+   initial values.  Pieces steeper than the smaller of the two final
+   slopes can never be reached (they would follow an infinite piece). *)
+let conv_convex f g =
+  let pieces h =
+    let rec walk = function
+      | (x, _, s) :: ((nx, _, _) :: _ as rest) -> (s, nx -. x) :: walk rest
+      | [ (_, _, s) ] -> [ (s, infinity) ]
+      | [] -> []
+    in
+    walk (Pwl.segments h)
+  in
+  let final = Float.min (Pwl.final_slope f) (Pwl.final_slope g) in
+  let finite_pieces =
+    pieces f @ pieces g
+    |> List.filter (fun (s, len) -> Float.is_finite len && s < final)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let y0 = Pwl.value_at_zero f +. Pwl.value_at_zero g in
+  let rec build x y = function
+    | (s, len) :: rest -> (x, y, s) :: build (x +. len) (y +. (s *. len)) rest
+    | [] -> [ (x, y, final) ]
+  in
+  Pwl.make (build 0. y0 finite_pieces)
+
+let conv f g =
+  let fail () =
+    invalid_arg "Minplus.conv: unsupported shape combination (need concave \
+                 x concave or convex x convex)"
+  in
+  match (Pwl.shape f, Pwl.shape g) with
+  | (`Concave | `Affine), (`Concave | `Affine) -> Pwl.min_pw f g
+  | (`Convex | `Affine), (`Convex | `Affine) -> conv_convex f g
+  | _ -> fail ()
+
+let conv_list = function
+  | [] -> invalid_arg "Minplus.conv_list: empty list"
+  | f :: rest -> List.fold_left conv f rest
+
+let conv_with_rate ~rate g =
+  if rate <= 0. then invalid_arg "Minplus.conv_with_rate: rate <= 0";
+  if not (Pwl.is_nondecreasing g) then
+    invalid_arg "Minplus.conv_with_rate: input must be nondecreasing";
+  (* Candidate minimizers of g s - rate s are the breakpoints (value
+     and left limit — the function is affine in between, so interior
+     minima sit at segment ends; the s = t candidate is the g-branch of
+     the outer min).  Build the running minimum as a step function over
+     the same abscissae; the result is min (g t, rate t + m t).  The
+     running minimum starts at 0: g is a cumulative function that
+     vanishes before the origin, so an instantaneous burst at 0
+     (g 0 > 0) still leaves the server starting from an empty system. *)
+  let bps = Pwl.breakpoints g in
+  let steps, _ =
+    List.fold_left
+      (fun (acc, best) x ->
+        let v =
+          Float.min
+            (Pwl.eval g x -. (rate *. x))
+            (Pwl.eval_left g x -. (rate *. x))
+        in
+        let best = Float.min best v in
+        ((x, best, 0.) :: acc, best))
+      ([], 0.) bps
+  in
+  let m = Pwl.make (List.rev steps) in
+  Pwl.min_pw g (Pwl.add (Pwl.affine ~y0:0. ~slope:rate) m)
+
+let final_slope_exceeds f g =
+  let open Float_ops in
+  Pwl.final_slope g <~ Pwl.final_slope f
+
+let deconv f g =
+  if final_slope_exceeds f g then
+    invalid_arg "Minplus.deconv: infinite (f grows faster than g)"
+  else begin
+    let bps_f = Pwl.breakpoints f and bps_g = Pwl.breakpoints g in
+    let far = Float_ops.max_list (bps_f @ bps_g) +. 1. in
+    let value_at t =
+      let s_candidates =
+        (0. :: far :: bps_g)
+        @ List.filter_map
+            (fun x -> if x -. t >= 0. then Some (x -. t) else None)
+            bps_f
+      in
+      let at s =
+        Float.max
+          (Pwl.eval f (t +. s) -. Pwl.eval g s)
+          (Pwl.eval_left f (t +. s) -. Pwl.eval_left g s)
+      in
+      Float_ops.max_list (List.map at s_candidates)
+    in
+    let t_candidates =
+      List.concat_map
+        (fun xf ->
+          List.filter_map
+            (fun xg -> if xf -. xg >= 0. then Some (xf -. xg) else None)
+            bps_g)
+        bps_f
+      @ bps_f
+    in
+    Pwl.of_sampler ~candidates:t_candidates ~eval:value_at
+  end
+
+let busy_period ~agg ~rate = Pwl.first_crossing_below agg ~rate
+
+let stable ~agg ~rate =
+  let open Float_ops in
+  Pwl.final_slope agg <~ rate

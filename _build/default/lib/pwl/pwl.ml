@@ -1,0 +1,578 @@
+
+type seg = { x : float; y : float; slope : float }
+type t = { segs : seg array }
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_finite v name =
+  if not (Float.is_finite v) then
+    invalid_arg (Printf.sprintf "Pwl.make: non-finite %s" name)
+
+(* Merge adjacent collinear segments; assumes x strictly increasing.
+   The slope test is ABSOLUTE: a tolerance relative to the slope
+   magnitude would let near-vertical segments merge while their
+   extrapolated values drift arbitrarily over the merged span. *)
+let normalize segs =
+  let open Float_ops in
+  let join acc seg =
+    match acc with
+    | prev :: rest ->
+        let dx = seg.x -. prev.x in
+        let continuous = seg.y =~ prev.y +. (prev.slope *. dx) in
+        if continuous && Float.abs (seg.slope -. prev.slope) <= 1e-9 then
+          prev :: rest
+        else seg :: acc
+    | [] -> [ seg ]
+  in
+  Array.of_list (List.rev (List.fold_left join [] segs))
+
+let make triples =
+  if triples = [] then invalid_arg "Pwl.make: empty segment list";
+  let segs = List.map (fun (x, y, slope) -> { x; y; slope }) triples in
+  List.iter
+    (fun s ->
+      check_finite s.x "x";
+      check_finite s.y "y";
+      check_finite s.slope "slope")
+    segs;
+  (match segs with
+  | first :: _ when first.x <> 0. -> invalid_arg "Pwl.make: first x must be 0."
+  | _ -> ());
+  let rec check_increasing = function
+    | a :: (b :: _ as rest) ->
+        if b.x <= a.x then invalid_arg "Pwl.make: x not strictly increasing";
+        check_increasing rest
+    | _ -> ()
+  in
+  check_increasing segs;
+  { segs = normalize segs }
+
+let zero = make [ (0., 0., 0.) ]
+let constant c = make [ (0., c, 0.) ]
+let affine ~y0 ~slope = make [ (0., y0, slope) ]
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Index of the segment containing t (last i with segs.(i).x <= t). *)
+let seg_index f t =
+  let n = Array.length f.segs in
+  let rec search lo hi =
+    (* invariant: segs.(lo).x <= t and (hi = n or segs.(hi).x > t) *)
+    if hi - lo <= 1 then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if f.segs.(mid).x <= t then search mid hi else search lo mid
+  in
+  if t <= 0. then 0 else search 0 n
+
+let eval f t =
+  let t = Float.max t 0. in
+  let s = f.segs.(seg_index f t) in
+  s.y +. (s.slope *. (t -. s.x))
+
+let eval_left f t =
+  if t <= 0. then eval f 0.
+  else
+    let i = seg_index f t in
+    let s = f.segs.(i) in
+    if s.x = t && i > 0 then
+      let p = f.segs.(i - 1) in
+      p.y +. (p.slope *. (t -. p.x))
+    else s.y +. (s.slope *. (t -. s.x))
+
+let segments f = Array.to_list (Array.map (fun s -> (s.x, s.y, s.slope)) f.segs)
+let breakpoints f = Array.to_list (Array.map (fun s -> s.x) f.segs)
+let final_slope f = f.segs.(Array.length f.segs - 1).slope
+let value_at_zero f = f.segs.(0).y
+
+let last_breakpoint f = f.segs.(Array.length f.segs - 1).x
+
+let is_nondecreasing f =
+  let open Float_ops in
+  (* Judged on value decreases, not raw slopes: a reconstruction-noise
+     slope of -1e-8 across a near-degenerate segment drops the value by
+     an amount far below tolerance and must not count. *)
+  let ok = ref true in
+  let n = Array.length f.segs in
+  for i = 0 to n - 1 do
+    let s = f.segs.(i) in
+    if i + 1 < n then begin
+      let next = f.segs.(i + 1) in
+      let v_end = s.y +. (s.slope *. (next.x -. s.x)) in
+      if v_end <~ s.y then ok := false;
+      (* downward jump at the next breakpoint *)
+      if next.y <~ v_end then ok := false
+    end
+    else if s.slope <~ 0. then (* unbounded eventual decrease *)
+      ok := false
+  done;
+  !ok
+
+let has_interior_jump f =
+  let open Float_ops in
+  let n = Array.length f.segs in
+  let jump = ref false in
+  for i = 1 to n - 1 do
+    let s = f.segs.(i) and p = f.segs.(i - 1) in
+    let left = p.y +. (p.slope *. (s.x -. p.x)) in
+    if not (s.y =~ left) then jump := true
+  done;
+  !jump
+
+let shape f =
+  let open Float_ops in
+  let n = Array.length f.segs in
+  if n = 1 then `Affine
+  else if has_interior_jump f then `General
+  else begin
+    let nonincreasing = ref true and nondecreasing = ref true in
+    for i = 1 to n - 1 do
+      let s = f.segs.(i).slope and p = f.segs.(i - 1).slope in
+      if s <~ p then nondecreasing := false;
+      if p <~ s then nonincreasing := false
+    done;
+    match (!nonincreasing, !nondecreasing) with
+    | true, true -> `Affine
+    | true, false -> `Concave
+    | false, true -> if value_at_zero f =~ 0. || value_at_zero f > 0. then `Convex else `General
+    | false, false -> `General
+  end
+
+let pp ppf f =
+  let pp_seg ppf s = Format.fprintf ppf "(%g, %g, %g)" s.x s.y s.slope in
+  Format.fprintf ppf "@[<hov 2>[%a]@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_seg)
+    (Array.to_list f.segs)
+
+let to_string f = Format.asprintf "%a" pp f
+
+(* ------------------------------------------------------------------ *)
+(* Exact reconstruction from a sampler                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Drop candidates closer than ~1e-9 (relative): the midpoint probes of
+   [of_sampler] divide by the interval width, so near-coincident
+   candidates (typically two float routes to the same geometric
+   crossing) would amplify evaluation noise into garbage slopes.
+   Merging them instead loses at most slope * 1e-9 of accuracy. *)
+let dedup_sorted xs =
+  let near a b = b -. a < 1e-9 *. Float.max 1. (Float.abs a) in
+  let rec go = function
+    | a :: (b :: _ as rest) when near a b -> go (a :: List.tl rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go xs
+
+let of_sampler ~candidates ~eval:sample =
+  let xs =
+    candidates
+    |> List.filter_map (fun x ->
+           if Float.is_nan x then None else Some (Float.max 0. x))
+    |> List.filter Float.is_finite
+    |> List.cons 0.
+    |> List.sort_uniq compare
+    |> dedup_sorted
+  in
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let seg_of i =
+    let x = arr.(i) in
+    let y = sample x in
+    let m1, m2 =
+      if i + 1 < n then
+        let w = arr.(i + 1) -. x in
+        (x +. (w /. 3.), x +. (2. *. w /. 3.))
+      else (x +. 1., x +. 2.)
+    in
+    let slope = (sample m2 -. sample m1) /. (m2 -. m1) in
+    (x, y, slope)
+  in
+  make (List.init n seg_of)
+
+(* ------------------------------------------------------------------ *)
+(* Pointwise algebra                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let merged_breakpoints f g =
+  List.sort_uniq compare (breakpoints f @ breakpoints g)
+
+(* Right slope at t: the slope of the segment containing t. *)
+let slope_at f t = f.segs.(seg_index f t).slope
+
+(* Exact pointwise combination on the merged breakpoints: values and
+   slopes are read off the operands directly, never probed. *)
+let pointwise_exact op_val op_slope f g =
+  make
+    (List.map
+       (fun x -> (x, op_val (eval f x) (eval g x), op_slope (slope_at f x) (slope_at g x)))
+       (merged_breakpoints f g))
+
+let add f g = pointwise_exact ( +. ) ( +. ) f g
+let sum = function [] -> zero | f :: rest -> List.fold_left add f rest
+let sub f g = pointwise_exact ( -. ) ( -. ) f g
+
+let scale k f =
+  make (List.map (fun (x, y, s) -> (x, k *. y, k *. s)) (segments f))
+
+(* Crossing points of f - g strictly inside each candidate interval,
+   computed from exact right values and slopes. *)
+let crossings f g candidates =
+  let cross a b =
+    let h = eval f a -. eval g a in
+    let sh = slope_at f a -. slope_at g a in
+    if sh = 0. then None
+    else
+      let t = a -. (h /. sh) in
+      if t > a +. (1e-12 *. Float.max 1. (Float.abs a)) && t < b then Some t
+      else None
+  in
+  let rec walk acc = function
+    | a :: (b :: _ as rest) ->
+        let acc = match cross a b with Some t -> t :: acc | None -> acc in
+        walk acc rest
+    | [ a ] -> ( match cross a infinity with Some t -> t :: acc | None -> acc)
+    | [] -> acc
+  in
+  walk [] candidates
+
+let combine_extrema pick pick_slope f g =
+  let open Float_ops in
+  let base = merged_breakpoints f g in
+  let candidates = List.sort_uniq compare (base @ crossings f g base) in
+  make
+    (List.map
+       (fun x ->
+         let yf = eval f x and yg = eval g x in
+         let slope =
+           if yf <~ yg then (if pick yf yg = yf then slope_at f x else slope_at g x)
+           else if yg <~ yf then (if pick yf yg = yg then slope_at g x else slope_at f x)
+           else pick_slope (slope_at f x) (slope_at g x)
+         in
+         (x, pick yf yg, slope))
+       candidates)
+
+let min_pw f g = combine_extrema Float.min Float.min f g
+let max_pw f g = combine_extrema Float.max Float.max f g
+let nonneg f = max_pw f zero
+
+let min_list = function
+  | [] -> invalid_arg "Pwl.min_list: empty list"
+  | f :: rest -> List.fold_left min_pw f rest
+
+(* ------------------------------------------------------------------ *)
+(* Transformations                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let shift_left f d =
+  if d < 0. then invalid_arg "Pwl.shift_left: negative shift";
+  if d = 0. then f
+  else
+    (* Exact: drop the segments entirely left of d, split the one
+       containing d, translate the rest. *)
+    let rec build = function
+      | (_, _, _) :: ((nx, _, _) :: _ as rest) when nx <= d -> build rest
+      | (x, y, s) :: rest ->
+          (0., y +. (s *. (d -. x)), s)
+          :: List.map (fun (x, y, s) -> (x -. d, y, s)) rest
+      | [] -> assert false
+    in
+    make (build (segments f))
+
+let shift_right f d =
+  if d < 0. then invalid_arg "Pwl.shift_right: negative shift";
+  if d = 0. then f
+  else
+    let shifted = List.map (fun (x, y, s) -> (x +. d, y, s)) (segments f) in
+    make ((0., 0., 0.) :: shifted)
+
+let compose ~outer ~inner =
+  if not (is_nondecreasing inner) then
+    invalid_arg "Pwl.compose: inner must be nondecreasing";
+  (* Exact segmentwise composition: every inner segment is mapped
+     through outer, cutting at the outer breakpoints its value range
+     crosses.  No sampling, so errors do not accumulate through
+     chained compositions. *)
+  let outer_levels = breakpoints outer in
+  let slope_at v = outer.segs.(seg_index outer v).slope in
+  let pieces =
+    List.concat_map
+      (fun ((x, y, s), next_x) ->
+        if s <= 0. then [ (x, eval outer y, 0.) ]
+        else begin
+          let v_end =
+            if Float.is_finite next_x then y +. (s *. (next_x -. x))
+            else infinity
+          in
+          let cuts =
+            List.filter (fun level -> level > y && level < v_end) outer_levels
+          in
+          (x, eval outer y, s *. slope_at y)
+          :: List.map
+               (fun level ->
+                 (x +. ((level -. y) /. s), eval outer level, s *. slope_at level))
+               cuts
+        end)
+      (let rec with_next = function
+         | seg :: ((nx, _, _) :: _ as rest) -> (seg, nx) :: with_next rest
+         | [ seg ] -> [ (seg, infinity) ]
+         | [] -> []
+       in
+       with_next (segments inner))
+  in
+  (* Cut abscissae are strictly increasing by construction, but float
+     rounding can land a cut on a segment boundary; merge such
+     degenerates, keeping the later piece (right-continuity). *)
+  let rec merge_close = function
+    | (x1, _, _) :: ((x2, y2, s2) :: rest)
+      when x2 <= x1 +. (1e-12 *. Float.max 1. (Float.abs x1)) ->
+        merge_close ((x1, y2, s2) :: rest)
+    | p :: rest -> p :: merge_close rest
+    | [] -> []
+  in
+  make (merge_close pieces)
+
+let pseudo_inverse f =
+  if not (is_nondecreasing f) then
+    invalid_arg "Pwl.pseudo_inverse: function must be nondecreasing";
+  if final_slope f <= 0. then
+    invalid_arg "Pwl.pseudo_inverse: function must be eventually increasing";
+  (* Exact construction: rising segments of f become 1/s segments of
+     the inverse, upward jumps of f become flats, flats of f become
+     the (right-continuous) upward jumps of the upper pseudo-inverse
+     implicitly — the next rising piece starts at the same ordinate
+     with a larger abscissa, and the later piece wins below. *)
+  let buf = ref [] in
+  let push y x s = buf := (y, x, s) :: !buf in
+  let y0 = value_at_zero f in
+  if y0 > 0. then push 0. 0. 0.;
+  let rec walk = function
+    | (x, y, s) :: rest ->
+        (match rest with
+        | (nx, ny, _) :: _ ->
+            let y_end = y +. (s *. (nx -. x)) in
+            if s > 0. then push y x (1. /. s);
+            if ny > y_end then push y_end nx 0.
+        | [] -> push y x (1. /. s));
+        walk rest
+    | [] -> ()
+  in
+  walk (segments f);
+  (* Clamp ordinates (arithmetic noise can push the first one a few
+     ulps below zero), then merge exact/near ties keeping the later
+     (larger-abscissa) piece: the upper pseudo-inverse is
+     right-continuous and takes the supremum. *)
+  let pieces = List.rev_map (fun (y, x, s) -> (Float.max 0. y, x, s)) !buf in
+  (* Merge tied ordinates keeping the later (larger-abscissa) piece:
+     the right-continuous representation takes the supremum there.
+     (A right-continuous "lower" pseudo-inverse would be the same
+     function — the lower/upper distinction lives entirely in the left
+     limits, which sup_diff and eval_left already expose.) *)
+  let rec merge_close = function
+    | (y1, _, _) :: ((y2, x2, s2) :: rest)
+      when y2 <= y1 +. (1e-12 *. Float.max 1. (Float.abs y1)) ->
+        merge_close ((y1, x2, s2) :: rest)
+    | p :: rest -> p :: merge_close rest
+    | [] -> []
+  in
+  make (merge_close pieces)
+
+let rec running_max_depth depth f =
+  if is_nondecreasing f then f
+  else begin
+    (* Exact segmentwise construction (no sampling): walk the segments
+       carrying the maximum seen so far; a segment below it becomes a
+       flat at that level, a segment crossing it from below is split at
+       the crossing.  The result is nondecreasing by construction. *)
+    let buf = ref [] in
+    let push x y s = buf := (x, y, s) :: !buf in
+    let rec walk m = function
+      | (x, y, s) :: rest ->
+          let next_x =
+            match rest with (nx, _, _) :: _ -> nx | [] -> infinity
+          in
+          let y_end =
+            if Float.is_finite next_x then y +. (s *. (next_x -. x))
+            else if s > 0. then infinity
+            else y
+          in
+          let m' =
+            if y >= m then begin
+              (* starts at or above the running max *)
+              push x y (Float.max s 0.);
+              if s >= 0. then Float.max m y_end else Float.max m y
+            end
+            else if s > 0. && y_end > m then begin
+              (* crosses the running max inside the segment; if the
+                 crossing rounds onto the segment start, rise from [m]
+                 right away — silently dropping the rising piece would
+                 freeze the curve at [m] for the whole segment *)
+              let t = x +. ((m -. y) /. s) in
+              if t > x && t < next_x then begin
+                push x m 0.;
+                push t m s
+              end
+              else push x m s;
+              y_end
+            end
+            else begin
+              (* entirely below: flat at the running max *)
+              push x m 0.;
+              m
+            end
+          in
+          walk m' rest
+      | [] -> ()
+    in
+    walk neg_infinity (segments f);
+    (* merge pieces landing on (near-)identical abscissae *)
+    let rec merge_close = function
+      | (x1, y1, _) :: ((x2, y2, s2) :: rest)
+        when x2 <= x1 +. (1e-12 *. Float.max 1. (Float.abs x1)) ->
+          merge_close ((x1, Float.max y1 y2, s2) :: rest)
+      | p :: rest -> p :: merge_close rest
+      | [] -> []
+    in
+    let rebuilt = make (merge_close (List.rev !buf)) in
+    (* A sub-ulp join produced by [make]'s normalization can survive a
+       single pass; iterating reaches a fixed point in one or two more
+       (each pass strictly lifts any remaining dip onto its running
+       maximum). *)
+    if is_nondecreasing rebuilt || depth >= 4 then rebuilt
+    else running_max_depth (depth + 1) rebuilt
+  end
+
+let running_max f = running_max_depth 0 f
+
+let lower_convex_hull f =
+  (* Lower hull of the breakpoint cloud (taking left limits into account
+     at jumps), closed with the final slope as a direction at infinity. *)
+  let points =
+    List.concat_map
+      (fun x -> [ (x, Float.min (eval f x) (eval_left f x)) ])
+      (breakpoints f)
+  in
+  let slope (x1, y1) (x2, y2) = (y2 -. y1) /. (x2 -. x1) in
+  let rec push hull p =
+    match hull with
+    | b :: a :: rest when slope a b >= slope a p -> push (a :: rest) p
+    | _ -> p :: hull
+  in
+  let hull = List.rev (List.fold_left push [] points) in
+  let s_inf = final_slope f in
+  (* Drop trailing hull points whose incoming slope already exceeds the
+     final slope: the infinite ray of slope [s_inf] attaches at the last
+     point below it (convexity requires nondecreasing slopes). *)
+  let rec trim = function
+    | last :: prev :: rest when slope prev last >= s_inf ->
+        trim (prev :: rest)
+    | pts -> pts
+  in
+  let hull = List.rev (trim (List.rev hull)) in
+  let rec to_segs = function
+    | (x, y) :: ((x2, y2) :: _ as rest) ->
+        (x, y, slope (x, y) (x2, y2)) :: to_segs rest
+    | [ (x, y) ] -> [ (x, y, s_inf) ]
+    | [] -> assert false
+  in
+  make (to_segs hull)
+
+(* ------------------------------------------------------------------ *)
+(* Suprema and crossings                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sup_diff f g =
+  let open Float_ops in
+  if final_slope g <~ final_slope f then infinity
+  else
+    let candidates = merged_breakpoints f g in
+    let at t =
+      Float.max (eval f t -. eval g t) (eval_left f t -. eval_left g t)
+    in
+    Float_ops.max_list (List.map at candidates)
+
+let sup_on f ~lo ~hi =
+  if hi < lo then invalid_arg "Pwl.sup_on: hi < lo";
+  if hi = infinity then
+    if final_slope f > 0. then infinity
+    else
+      let candidates = lo :: List.filter (fun x -> x >= lo) (breakpoints f) in
+      Float_ops.max_list
+        (List.concat_map (fun t -> [ eval f t; eval_left f t ]) candidates)
+  else
+    let inside = List.filter (fun x -> x > lo && x < hi) (breakpoints f) in
+    let candidates = lo :: hi :: inside in
+    Float_ops.max_list
+      (List.concat_map (fun t -> [ eval f t; eval_left f t ]) candidates)
+
+let first_crossing_below f ~rate =
+  let open Float_ops in
+  let h t = eval f t -. (rate *. t) in
+  let segs = segments f in
+  let rec walk = function
+    | (x, _, s) :: rest ->
+        let next_x = match rest with (nx, _, _) :: _ -> nx | [] -> infinity in
+        let hx = h x in
+        if hx <~ 0. then x
+        else if hx =~ 0. then
+          (* touching the line; below iff the segment does not escape up *)
+          if s <=~ rate then x else walk rest
+        else if s <~ rate then
+          let t = x +. (hx /. (rate -. s)) in
+          if t < next_x || not (Float.is_finite next_x) then t else walk rest
+        else walk rest
+    | [] -> infinity
+  in
+  walk segs
+
+let first_crossing_under f ~below =
+  let open Float_ops in
+  (* Scan the merged breakpoints plus the crossings of f - below; the
+     infimum of { t > 0 : f t <= below t } is one of those points (the
+     difference is affine between consecutive candidates).  A mere
+     touch point (difference 0 but escaping upward again) does not end
+     a busy period, mirroring first_crossing_below: a candidate counts
+     only if the difference stays <= 0 just after it, which we decide
+     by probing the midpoint to the next candidate. *)
+  let base = merged_breakpoints f below in
+  let candidates =
+    List.sort compare (base @ crossings f below base)
+    |> List.filter (fun t -> t >= 0.)
+  in
+  let h t = eval f t -. eval below t in
+  let stays_below t next =
+    let probe = match next with Some n -> (t +. n) /. 2. | None -> t +. 1. in
+    h probe <=~ 0.
+  in
+  let rec scan = function
+    | t :: rest ->
+        let next = match rest with n :: _ -> Some n | [] -> None in
+        if h t <~ 0. then t
+        else if h t =~ 0. && stays_below t next then t
+        else scan rest
+    | [] ->
+        (* after the last candidate the difference is affine *)
+        if final_slope f <~ final_slope below then
+          let t0 = Float_ops.max_list candidates in
+          let slope = final_slope f -. final_slope below in
+          t0 +. (h t0 /. -.slope)
+        else infinity
+  in
+  scan candidates
+
+let equal f g =
+  let open Float_ops in
+  let candidates = merged_breakpoints f g in
+  let mids =
+    let rec between = function
+      | a :: (b :: _ as rest) -> ((a +. b) /. 2.) :: between rest
+      | [ a ] -> [ a +. 1.; a +. 2. ]
+      | [] -> []
+    in
+    between candidates
+  in
+  List.for_all (fun t -> eval f t =~ eval g t) (candidates @ mids)

@@ -1,0 +1,175 @@
+(** Piecewise-linear functions on [0, +oo).
+
+    This is the numeric substrate of the whole library: arrival curves,
+    service curves, traffic envelopes and every intermediate quantity in
+    the delay analyses are values of this type, and all operations are
+    {e breakpoint-exact}: values and slopes are computed algebraically
+    from the operands, with no sampling or discretization anywhere.
+
+    A value represents a function [f : \[0, +oo) -> R] given by finitely
+    many affine segments; the last segment extends to infinity.  Functions
+    are {e right-continuous}: the value stored at a breakpoint is the
+    value on the segment that starts there.  Upward jumps at breakpoints
+    are allowed (e.g. a token bucket stores [f 0 = sigma], the
+    right-continuous version of the classical [sigma + rho t for t > 0]
+    curve; this convention is conservative and standard).
+
+    All functions used by the analyses are nondecreasing, but the algebra
+    below does not require it unless stated. *)
+
+type t
+
+(** {1 Construction} *)
+
+val make : (float * float * float) list -> t
+(** [make segs] builds a function from segments [(x, y, slope)] meaning
+    [f t = y + slope * (t - x)] for [t] in [\[x, next_x)].  Requirements:
+    the list is nonempty, the first [x] is [0.], the [x] are strictly
+    increasing, and all numbers are finite.  Collinear adjacent segments
+    are merged.  @raise Invalid_argument on violation. *)
+
+val zero : t
+(** The constant 0 function. *)
+
+val constant : float -> t
+(** [constant c] is [fun _ -> c].  Requires [c] finite. *)
+
+val affine : y0:float -> slope:float -> t
+(** [affine ~y0 ~slope] is [fun t -> y0 +. slope *. t]. *)
+
+val of_sampler :
+  candidates:float list -> eval:(float -> float) -> t
+(** [of_sampler ~candidates ~eval] reconstructs a piecewise-linear
+    function from an exact evaluator.  [candidates] must contain every
+    true breakpoint of the function (extra points and duplicates are
+    fine; points are clamped to [>= 0.]).  [eval] must be the
+    right-continuous evaluation.  Reserved for genuinely search-like
+    operations (deconvolution, the FIFO-theta clipping): the structural
+    operations below are exact segmentwise constructions instead, so
+    probe noise cannot accumulate through chained uses (see DESIGN.md
+    §7). *)
+
+(** {1 Inspection} *)
+
+val eval : t -> float -> float
+(** [eval f t] for [t >= 0.] (negative [t] evaluates to [eval f 0.]). *)
+
+val eval_left : t -> float -> float
+(** Left limit [f (t-)]; equals [eval f t] except at upward jumps.
+    [eval_left f 0. = eval f 0.]. *)
+
+val segments : t -> (float * float * float) list
+(** The segments as given to {!make}, normalized. *)
+
+val breakpoints : t -> float list
+(** The abscissae of the segments, increasing, starting with [0.]. *)
+
+val final_slope : t -> float
+(** Slope of the last (infinite) segment. *)
+
+val value_at_zero : t -> float
+(** [eval f 0.], the (right-continuous) initial value — e.g. the burst of
+    a token bucket. *)
+
+val last_breakpoint : t -> float
+(** Abscissa of the final (infinite) segment. *)
+
+val is_nondecreasing : t -> bool
+
+val shape : t -> [ `Affine | `Concave | `Convex | `General ]
+(** Shape classification used to select convolution algorithms.  A
+    function is [`Concave] if it is continuous on [ (0, oo) ] with
+    nonincreasing slopes (an upward jump at 0 is allowed), [`Convex] if
+    continuous everywhere with nondecreasing slopes, [`Affine] if both. *)
+
+val equal : t -> t -> bool
+(** Pointwise equality up to the {!Float_ops.eps}
+    tolerance. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** {1 Pointwise algebra} *)
+
+val add : t -> t -> t
+val sum : t list -> t
+(** [sum \[\] = zero]. *)
+
+val sub : t -> t -> t
+val scale : float -> t -> t
+val min_pw : t -> t -> t
+(** Pointwise minimum (crossing points become breakpoints). *)
+
+val max_pw : t -> t -> t
+val nonneg : t -> t
+(** [nonneg f = max_pw f zero], written [\[f\]^+] in the papers. *)
+
+val min_list : t list -> t
+(** Pointwise minimum of a nonempty list. *)
+
+(** {1 Transformations} *)
+
+val shift_left : t -> float -> t
+(** [shift_left f d] is [fun t -> eval f (t +. d)] for [d >= 0.] — the
+    envelope of traffic that has suffered at most [d] of delay/jitter. *)
+
+val shift_right : t -> float -> t
+(** [shift_right f d] is [fun t -> if t < d then 0. else eval f (t -. d)]
+    for [d >= 0.] — e.g. delaying a service curve. *)
+
+val compose : outer:t -> inner:t -> t
+(** [compose ~outer ~inner] is [fun t -> eval outer (eval inner t)].
+    Requires [inner] nondecreasing and nonnegative.  Exact. *)
+
+val pseudo_inverse : t -> t
+(** Upper pseudo-inverse [f^{-1}(y) = sup { x : f x <= y }] of a
+    nondecreasing function, returned as a right-continuous
+    piecewise-linear function of [y] (with [f^{-1}(y) = 0.] below
+    [f 0.]).  The upper variant is the right-continuous one, hence
+    representable; it dominates the lower pseudo-inverse
+    [inf { x : f x >= y }] and the two differ only on the (finitely
+    many) ordinates where [f] is flat, so delay bounds computed with it
+    remain valid upper bounds and are exact for strictly increasing
+    curves.  Flat segments of [f] become jumps of the inverse and jumps
+    of [f] become flat segments.  Requires [final_slope f > 0.].
+    @raise Invalid_argument if [f] decreases or is eventually flat. *)
+
+
+val running_max : t -> t
+(** [running_max f = fun t -> sup_{0 <= s <= t} f s] — the smallest
+    nondecreasing majorant.  The identity on nondecreasing functions;
+    used to scrub sub-tolerance negative slopes introduced by repeated
+    floating-point reconstructions before an operation that requires
+    monotonicity. *)
+
+val lower_convex_hull : t -> t
+(** Greatest convex minorant.  Used to turn members of the FIFO
+    service-curve family (which may jump) into valid convex service
+    curves without losing more than the hull requires. *)
+
+(** {1 Suprema and crossings} *)
+
+val sup_diff : t -> t -> float
+(** [sup_diff f g = sup_{t >= 0} (f t -. g t)], which is [infinity] when
+    [final_slope f > final_slope g].  Left limits at jumps are taken into
+    account, so the result is a true supremum over the right- and
+    left-continuous versions. *)
+
+val sup_on : t -> lo:float -> hi:float -> float
+(** Supremum of [f] on [\[lo, hi\]] ([hi] may be [infinity] only if the
+    final slope is [<= 0.]). *)
+
+val first_crossing_below : t -> rate:float -> float
+(** [first_crossing_below f ~rate] is [inf { t > 0 : f t <= rate *. t }]
+    — the busy-period bound of an aggregate envelope [f] served at
+    [rate].  Returns [infinity] when no such [t] exists (unstable
+    server).  For [f 0. = 0.] with initial slope [<= rate] this is
+    [0.]. *)
+
+val first_crossing_under : t -> below:t -> float
+(** [first_crossing_under f ~below:g = inf { t > 0 : f t <= g t }] —
+    the busy-period bound of an envelope [f] served according to a
+    service curve [g] (generalizes {!first_crossing_below} to
+    non-constant-rate service, e.g. the leftover curve of a
+    static-priority class).  [infinity] when [f] stays above [g]. *)

@@ -1,0 +1,1 @@
+lib/sched/edf.ml: Deviation Float Float_ops List Minplus Pwl Service

@@ -1,0 +1,1 @@
+lib/sched/fifo.ml: Deviation Minplus Pwl Service

@@ -1,0 +1,1 @@
+lib/sched/static_priority.ml: Deviation Pwl Service

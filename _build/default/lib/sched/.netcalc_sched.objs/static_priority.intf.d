@@ -1,0 +1,1 @@
+lib/sched/static_priority.mli: Pwl

@@ -1,0 +1,10 @@
+type t = Fifo | Static_priority | Edf | Gps
+
+let to_string = function
+  | Fifo -> "FIFO"
+  | Static_priority -> "SP"
+  | Edf -> "EDF"
+  | Gps -> "GPS"
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+let all = [ Fifo; Static_priority; Edf; Gps ]

@@ -1,0 +1,17 @@
+let guaranteed_rate ~rate ~weight ~total_weight =
+  if weight <= 0. || total_weight < weight then
+    invalid_arg "Gps: weights must satisfy 0 < weight <= total_weight";
+  rate *. weight /. total_weight
+
+let flow_service ~rate ~weight ~total_weight ?(packet_latency = 0.) () =
+  Service.rate_latency
+    ~rate:(guaranteed_rate ~rate ~weight ~total_weight)
+    ~latency:packet_latency
+
+let local_delay ~rate ~weight ~total_weight ~alpha ?packet_latency () =
+  Deviation.hdev ~alpha
+    ~beta:(flow_service ~rate ~weight ~total_weight ?packet_latency ())
+
+let output_flow ~rate ~weight ~total_weight ~alpha ?packet_latency () =
+  Minplus.deconv alpha
+    (flow_service ~rate ~weight ~total_weight ?packet_latency ())

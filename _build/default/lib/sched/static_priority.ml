@@ -1,0 +1,14 @@
+let class_service ~rate ~higher ?(blocking = 0.) () =
+  if blocking < 0. then invalid_arg "Static_priority: negative blocking";
+  Pwl.lower_convex_hull
+    (Pwl.nonneg
+       (Pwl.sub (Service.constant_rate rate)
+          (Pwl.add higher (Pwl.constant blocking))))
+
+let local_delay ~rate ~higher ~own ?blocking () =
+  Deviation.hdev ~alpha:own ~beta:(class_service ~rate ~higher ?blocking ())
+
+let output_flow ~rate ~higher ~own ~flow ?blocking () =
+  let d = local_delay ~rate ~higher ~own ?blocking () in
+  if d = infinity then invalid_arg "Static_priority.output_flow: unstable class"
+  else Pwl.shift_left flow d

@@ -1,0 +1,32 @@
+(** Local analysis of a static-priority multiplexor of rate [C].
+
+    Priority classes are served preemptively in priority order (lower
+    number = more urgent); within a class the service is FIFO.  A
+    non-preemptive server is modeled through the optional [blocking]
+    term: the size of the largest lower-priority packet that can be in
+    service when a higher-priority packet arrives (0 in the fluid
+    model).  This is the Cruz / Li-Bettati-Zhao (RTSS'97) bound the
+    paper's conclusion refers to when discussing the SP extension. *)
+
+val class_service :
+  rate:float -> higher:Pwl.t -> ?blocking:float -> unit -> Pwl.t
+(** Service curve offered to a priority class given the aggregate
+    envelope [higher] of all strictly more urgent classes:
+    [(C t - higher t - blocking)^+]. *)
+
+val local_delay :
+  rate:float -> higher:Pwl.t -> own:Pwl.t -> ?blocking:float -> unit -> float
+(** Worst-case delay of the class aggregate [own]:
+    horizontal deviation from {!class_service}.  [infinity] when the
+    class is unstable. *)
+
+val output_flow :
+  rate:float ->
+  higher:Pwl.t ->
+  own:Pwl.t ->
+  flow:Pwl.t ->
+  ?blocking:float ->
+  unit ->
+  Pwl.t
+(** Output envelope of one flow of the class: the flow envelope shifted
+    by the class delay bound. *)

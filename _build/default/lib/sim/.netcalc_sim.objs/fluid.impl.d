@@ -1,0 +1,1 @@
+lib/sim/fluid.ml: Discipline Float_ops Flow Hashtbl List Minplus Network Printf Pwl Random Server

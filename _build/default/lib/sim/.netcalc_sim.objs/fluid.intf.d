@@ -1,0 +1,1 @@
+lib/sim/fluid.mli: Flow Network Pwl

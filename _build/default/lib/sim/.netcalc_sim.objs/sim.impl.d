@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Arrival Discipline Event_heap Float Flow Hashtbl List Network Option Packet Queue Server Source Stats

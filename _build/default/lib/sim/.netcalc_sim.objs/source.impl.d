@@ -1,0 +1,1 @@
+lib/sim/source.ml: Float List

@@ -1,0 +1,1 @@
+lib/sim/validate.ml: Array Flow Hashtbl List Network Pwl Random Server Sim Source

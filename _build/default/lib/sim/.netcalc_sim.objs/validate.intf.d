@@ -1,0 +1,1 @@
+lib/sim/validate.mli: Flow Network Pwl Sim

@@ -1,0 +1,20 @@
+type t = {
+  id : int;
+  flow : int;
+  size : float;
+  created : float;
+  mutable remaining : int list;
+  mutable enqueued : float;
+  mutable local_deadline : float;
+}
+
+let make ~id ~flow ~size ~created ~route =
+  {
+    id;
+    flow;
+    size;
+    created;
+    remaining = route;
+    enqueued = created;
+    local_deadline = infinity;
+  }

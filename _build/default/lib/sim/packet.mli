@@ -1,0 +1,13 @@
+(** Packets flowing through the simulator. *)
+
+type t = {
+  id : int;
+  flow : int;
+  size : float;
+  created : float;             (** emission time at the source *)
+  mutable remaining : int list; (** hops still to traverse *)
+  mutable enqueued : float;    (** arrival time at the current server *)
+  mutable local_deadline : float; (** EDF tag at the current server *)
+}
+
+val make : id:int -> flow:int -> size:float -> created:float -> route:int list -> t

@@ -1,0 +1,93 @@
+type report = {
+  flow : int;
+  observed : float;
+  bound : float;
+  allowance : float;
+  slack : float;
+}
+
+let store_and_forward_allowance ~packet_size net (f : Flow.t) =
+  List.fold_left
+    (fun acc sid -> acc +. (packet_size /. (Network.server net sid).Server.rate))
+    0. f.route
+
+let check ?(config = Sim.default_config) ~bounds net =
+  let result = Sim.run ~config net in
+  bounds
+  |> List.map (fun (flow, bound) ->
+         let observed = Sim.max_delay result flow in
+         let allowance =
+           store_and_forward_allowance ~packet_size:config.packet_size net
+             (Network.flow net flow)
+         in
+         { flow; observed; bound; allowance;
+           slack = bound +. allowance -. observed })
+  |> List.sort (fun a b -> compare a.flow b.flow)
+
+let violations reports =
+  List.filter (fun r -> r.slack < -1e-6) reports
+
+(* All-window conformance of a packetized timestamp series to a fluid
+   envelope: N (s, t] <= env (t - s) + slack for every emission pair
+   (packet granularity contributes up to one packet over the fluid
+   curve, which callers pass as [slack]). *)
+let conforms_to_envelope ~packet_size ~slack env times =
+  let arr = Array.of_list times in
+  let n = Array.length arr in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let amount = float_of_int (j - i + 1) *. packet_size in
+      let window = arr.(j) -. arr.(i) in
+      if amount > Pwl.eval env window +. slack +. 1e-9 then ok := false
+    done
+  done;
+  !ok
+
+let check_output_envelopes ?(config = Sim.default_config)
+    ~envelope_at net =
+  let config = { config with Sim.record_departures = true } in
+  let result = Sim.run ~config net in
+  Network.flows net
+  |> List.concat_map (fun (f : Flow.t) ->
+         List.filter_map
+           (fun (s, s') ->
+             match envelope_at ~flow:f.id ~server:s' with
+             | env ->
+                 let times = Sim.departures result ~flow:f.id ~server:s in
+                 Some
+                   ( f.id,
+                     s,
+                     conforms_to_envelope ~packet_size:config.Sim.packet_size
+                       ~slack:config.Sim.packet_size env times )
+             | exception _ -> None)
+           (Flow.hop_pairs f))
+
+let adversarial_max_delays ?(config = Sim.default_config) ?(tries = 8)
+    ?(seed = 7) net =
+  (* Greedy sources with randomized start phases: each try is one
+     conforming scenario; the per-flow maximum over tries is a tighter
+     lower estimate of the true worst case than a single aligned run. *)
+  let rng = Random.State.make [| seed |] in
+  let flows = Network.flows net in
+  let best = Hashtbl.create 16 in
+  List.iter (fun (f : Flow.t) -> Hashtbl.replace best f.id 0.) flows;
+  for i = 0 to tries - 1 do
+    let models =
+      if i = 0 then []
+      else
+        List.map
+          (fun (f : Flow.t) ->
+            (f.id, Source.Greedy { start = Random.State.float rng 5. }))
+          flows
+    in
+    let result = Sim.run ~config:{ config with Sim.models } net in
+    List.iter
+      (fun (f : Flow.t) ->
+        let d = Sim.max_delay result f.id in
+        if d > Hashtbl.find best f.id then Hashtbl.replace best f.id d)
+      flows
+  done;
+  flows
+  |> List.map (fun (f : Flow.t) -> (f.id, Hashtbl.find best f.id))
+  |> List.sort compare

@@ -1,0 +1,1 @@
+lib/topology/dot.ml: Buffer Flow List Network Printf Server

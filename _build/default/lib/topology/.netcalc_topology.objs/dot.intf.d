@@ -1,0 +1,1 @@
+lib/topology/dot.mli: Network

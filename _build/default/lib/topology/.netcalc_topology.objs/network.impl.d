@@ -1,0 +1,1 @@
+lib/topology/network.ml: Float Float_ops Flow Format Hashtbl Int List Map Printf Server

@@ -1,0 +1,1 @@
+lib/topology/network.mli: Flow Format Server

@@ -1,0 +1,1 @@
+lib/topology/randomnet.ml: Arrival Float Flow Hashtbl List Network Printf Random Server

@@ -1,0 +1,1 @@
+lib/topology/randomnet.mli: Network

@@ -1,0 +1,1 @@
+lib/topology/ring.ml: Arrival Flow List Network Printf Server

@@ -1,0 +1,1 @@
+lib/topology/scenario.ml: Arrival Buffer Discipline Flow List Network Option Printf Server String

@@ -1,0 +1,1 @@
+lib/topology/scenario.mli: Network

@@ -1,0 +1,1 @@
+lib/topology/server.ml: Discipline Format

@@ -1,0 +1,1 @@
+lib/topology/server.mli: Discipline Format

@@ -1,0 +1,1 @@
+lib/topology/tandem.ml: Arrival Discipline Flow List Network Printf Server

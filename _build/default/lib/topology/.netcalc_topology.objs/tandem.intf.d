@@ -1,0 +1,1 @@
+lib/topology/tandem.mli: Discipline Flow Network

@@ -1,0 +1,23 @@
+let to_dot net =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph network {\n  rankdir=LR;\n";
+  List.iter
+    (fun (s : Server.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [label=\"%s\\nC=%g u=%.2f\"];\n" s.id s.name
+           s.rate
+           (Network.utilization net s.id)))
+    (Network.servers net);
+  let count (a, b) =
+    List.length
+      (List.filter
+         (fun f -> List.mem (a, b) (Flow.hop_pairs f))
+         (Network.flows net))
+  in
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -> %d [label=\"%d\"];\n" a b (count (a, b))))
+    (Network.edges net);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

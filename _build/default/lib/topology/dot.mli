@@ -1,0 +1,7 @@
+(** Graphviz export of the routing graph, for documentation and
+    debugging. *)
+
+val to_dot : Network.t -> string
+(** A [digraph] whose nodes are servers (labeled with name, rate and
+    utilization) and whose edges are the consecutive-hop pairs, labeled
+    with the number of flows riding them. *)

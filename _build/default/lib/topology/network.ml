@@ -1,0 +1,119 @@
+module Int_map = Map.Make (Int)
+
+type t = {
+  servers : Server.t Int_map.t;
+  flow_list : Flow.t list;
+  flow_map : Flow.t Int_map.t;
+}
+
+exception Cyclic
+
+let make ~servers ~flows =
+  let server_map =
+    List.fold_left
+      (fun acc (s : Server.t) ->
+        if Int_map.mem s.id acc then
+          invalid_arg
+            (Printf.sprintf "Network.make: duplicate server id %d" s.id)
+        else Int_map.add s.id s acc)
+      Int_map.empty servers
+  in
+  List.iter
+    (fun (f : Flow.t) ->
+      List.iter
+        (fun sid ->
+          if not (Int_map.mem sid server_map) then
+            invalid_arg
+              (Printf.sprintf "Network.make: flow %s routes via unknown server %d"
+                 f.name sid))
+        f.route)
+    flows;
+  let flow_map =
+    List.fold_left
+      (fun acc (f : Flow.t) ->
+        if Int_map.mem f.id acc then
+          invalid_arg (Printf.sprintf "Network.make: duplicate flow id %d" f.id)
+        else Int_map.add f.id f acc)
+      Int_map.empty flows
+  in
+  { servers = server_map; flow_list = flows; flow_map }
+
+let server net id =
+  match Int_map.find_opt id net.servers with
+  | Some s -> s
+  | None -> raise Not_found
+
+let servers net = List.map snd (Int_map.bindings net.servers)
+let flows net = net.flow_list
+
+let flow net id =
+  match Int_map.find_opt id net.flow_map with
+  | Some f -> f
+  | None -> raise Not_found
+
+let size net = Int_map.cardinal net.servers
+
+let flows_at net sid =
+  List.filter (fun f -> Flow.traverses f sid) net.flow_list
+
+let edges net =
+  net.flow_list
+  |> List.concat_map Flow.hop_pairs
+  |> List.sort_uniq compare
+
+let topological_order net =
+  let es = edges net in
+  let indegree = Hashtbl.create 64 in
+  Int_map.iter (fun id _ -> Hashtbl.replace indegree id 0) net.servers;
+  List.iter
+    (fun (_, dst) -> Hashtbl.replace indegree dst (Hashtbl.find indegree dst + 1))
+    es;
+  let successors src = List.filter_map
+      (fun (a, b) -> if a = src then Some b else None) es
+  in
+  let ready =
+    Int_map.fold
+      (fun id _ acc -> if Hashtbl.find indegree id = 0 then id :: acc else acc)
+      net.servers []
+    |> List.sort compare
+  in
+  let rec kahn order = function
+    | [] -> List.rev order
+    | id :: rest ->
+        let next =
+          List.fold_left
+            (fun acc succ ->
+              let d = Hashtbl.find indegree succ - 1 in
+              Hashtbl.replace indegree succ d;
+              if d = 0 then succ :: acc else acc)
+            [] (successors id)
+        in
+        kahn (id :: order) (List.sort compare next @ rest)
+  in
+  let order = kahn [] ready in
+  if List.length order <> size net then raise Cyclic else order
+
+let is_feedforward net =
+  match topological_order net with _ -> true | exception Cyclic -> false
+
+let utilization net sid =
+  let s = server net sid in
+  let input_rate =
+    List.fold_left (fun acc f -> acc +. Flow.rate f) 0. (flows_at net sid)
+  in
+  input_rate /. s.rate
+
+let max_utilization net =
+  Int_map.fold
+    (fun id _ acc -> Float.max acc (utilization net id))
+    net.servers 0.
+
+let stable net =
+  let open Float_ops in
+  max_utilization net <~ 1.
+
+let with_flows net flows = make ~servers:(servers net) ~flows
+
+let pp ppf net =
+  Format.fprintf ppf "network: %d servers, %d flows, max util %.3f" (size net)
+    (List.length net.flow_list) (max_utilization net)

@@ -1,0 +1,53 @@
+(** A network of servers together with the flows that traverse it.
+
+    The analyses in this library require {e feedforward} routing: the
+    directed graph whose edges are the consecutive server pairs of all
+    routes must be acyclic (the paper, Sec. 5, explicitly restricts the
+    integrated method to cycle-free configurations). *)
+
+type t
+
+exception Cyclic
+(** Raised by {!topological_order} when the routing graph has a cycle. *)
+
+val make : servers:Server.t list -> flows:Flow.t list -> t
+(** @raise Invalid_argument on duplicate server ids or a flow whose
+    route mentions an unknown server. *)
+
+val server : t -> int -> Server.t
+(** @raise Not_found for an unknown id. *)
+
+val servers : t -> Server.t list
+(** In increasing id order. *)
+
+val flows : t -> Flow.t list
+val flow : t -> int -> Flow.t
+val size : t -> int
+
+val flows_at : t -> int -> Flow.t list
+(** All flows whose route contains the server, in flow-id order. *)
+
+val edges : t -> (int * int) list
+(** Deduplicated consecutive route pairs, the routing DAG. *)
+
+val topological_order : t -> int list
+(** Every server id (including isolated ones), sources first.
+    @raise Cyclic when the routing graph is not feedforward. *)
+
+val is_feedforward : t -> bool
+
+val utilization : t -> int -> float
+(** Long-run input rate at a server divided by its service rate. *)
+
+val max_utilization : t -> float
+(** Maximum {!utilization} over all servers. *)
+
+val stable : t -> bool
+(** [max_utilization < 1] (within tolerance) — the condition for finite
+    delay bounds everywhere. *)
+
+val with_flows : t -> Flow.t list -> t
+(** Same servers, different flow population (used by admission
+    control). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+type params = {
+  layers : int;
+  per_layer : int;
+  num_flows : int;
+  utilization : float;
+  max_burst : float;
+  peak : float;
+  rate_spread : float;
+  seed : int;
+}
+
+let default =
+  {
+    layers = 3;
+    per_layer = 2;
+    num_flows = 8;
+    utilization = 0.6;
+    max_burst = 2.;
+    peak = 1.;
+    rate_spread = 0.;
+    seed = 42;
+  }
+
+let generate p =
+  if p.layers < 2 then invalid_arg "Randomnet.generate: layers < 2";
+  if p.per_layer < 1 then invalid_arg "Randomnet.generate: per_layer < 1";
+  if p.num_flows < 1 then invalid_arg "Randomnet.generate: num_flows < 1";
+  if p.utilization <= 0. || p.utilization >= 1. then
+    invalid_arg "Randomnet.generate: utilization must be in (0, 1)";
+  if p.rate_spread < 0. || p.rate_spread >= 1. then
+    invalid_arg "Randomnet.generate: rate_spread must be in [0, 1)";
+  let rng = Random.State.make [| p.seed |] in
+  let server_id layer pos = (layer * p.per_layer) + pos in
+  let rates = Hashtbl.create 16 in
+  let servers =
+    List.concat
+      (List.init p.layers (fun layer ->
+           List.init p.per_layer (fun pos ->
+               let rate =
+                 1. -. p.rate_spread
+                 +. Random.State.float rng (2. *. p.rate_spread)
+               in
+               Hashtbl.replace rates (server_id layer pos) rate;
+               Server.make ~id:(server_id layer pos)
+                 ~name:(Printf.sprintf "l%dp%d" layer pos)
+                 ~rate ())))
+  in
+  (* Draw raw routes and unscaled (sigma, weight) parameters first. *)
+  let raw =
+    List.init p.num_flows (fun i ->
+        let first = Random.State.int rng (p.layers - 1) in
+        let len = 2 + Random.State.int rng (p.layers - first - 1) in
+        let route =
+          List.init len (fun k ->
+              server_id (first + k) (Random.State.int rng p.per_layer))
+        in
+        let sigma = 0.05 +. Random.State.float rng (Float.max 1e-3 (p.max_burst -. 0.05)) in
+        let rate_weight = Random.State.float rng 1.0 +. 0.1 in
+        (i, route, sigma, rate_weight))
+  in
+  (* Scale rates so the most loaded server hits the target utilization. *)
+  let load = Hashtbl.create 16 in
+  List.iter
+    (fun (_, route, _, w) ->
+      List.iter
+        (fun sid ->
+          Hashtbl.replace load sid
+            (w +. try Hashtbl.find load sid with Not_found -> 0.))
+        route)
+    raw;
+  (* The binding constraint is relative to each server's own rate. *)
+  let max_load =
+    Hashtbl.fold
+      (fun sid v acc -> Float.max (v /. Hashtbl.find rates sid) acc)
+      load 0.
+  in
+  let scale = p.utilization /. max_load in
+  let flows =
+    List.map
+      (fun (i, route, sigma, w) ->
+        let rho = w *. scale in
+        let peak = Float.max p.peak rho in
+        Flow.make ~id:i ~arrival:(Arrival.token_bucket ~peak ~sigma ~rho ())
+          ~route ())
+      raw
+  in
+  Network.make ~servers ~flows

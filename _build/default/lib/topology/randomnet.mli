@@ -1,0 +1,29 @@
+(** Random feedforward networks for property-based testing and stress
+    experiments.
+
+    Servers are arranged in layers; each route visits one server in
+    each of a contiguous range of layers, so the routing graph is a DAG
+    by construction.  Source rates are scaled after generation so that
+    the most loaded server sits at the requested utilization. *)
+
+type params = {
+  layers : int;           (** >= 2 *)
+  per_layer : int;        (** servers per layer, >= 1 *)
+  num_flows : int;        (** >= 1 *)
+  utilization : float;    (** target max utilization, in (0, 1) *)
+  max_burst : float;      (** source bursts drawn from [0.05, max_burst] *)
+  peak : float;           (** source peak rate; [infinity] for none *)
+  rate_spread : float;    (** server rates drawn uniformly from
+                              [1 - spread, 1 + spread]; 0 gives the
+                              homogeneous unit-rate plant *)
+  seed : int;
+}
+
+val default : params
+(** 3 layers x 2 servers, 8 flows, utilization 0.6, max_burst 2,
+    peak 1, homogeneous rates, seed 42. *)
+
+val generate : params -> Network.t
+(** All servers FIFO.  The result is always feedforward, and the most
+    loaded server sits exactly at the target utilization relative to
+    its own rate (hence stable). *)

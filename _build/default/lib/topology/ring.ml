@@ -1,0 +1,22 @@
+type t = { network : Network.t; n : int }
+
+let make ~n ~hops ~utilization ?(sigma = 1.) ?(peak = infinity) () =
+  if n < 2 then invalid_arg "Ring.make: n < 2";
+  if hops < 2 || hops > n then invalid_arg "Ring.make: need 2 <= hops <= n";
+  if utilization <= 0. || utilization >= 1. then
+    invalid_arg "Ring.make: utilization must be in (0, 1)";
+  if sigma <= 0. then invalid_arg "Ring.make: sigma <= 0";
+  let rho = utilization /. float_of_int hops in
+  let servers =
+    List.init n (fun id ->
+        Server.make ~id ~name:(Printf.sprintf "ring%d" id) ~rate:1. ())
+  in
+  let flows =
+    List.init n (fun i ->
+        Flow.make ~id:i
+          ~name:(Printf.sprintf "f%d" i)
+          ~arrival:(Arrival.token_bucket ~peak ~sigma ~rho ())
+          ~route:(List.init hops (fun k -> (i + k) mod n))
+          ())
+  in
+  { network = Network.make ~servers ~flows; n }

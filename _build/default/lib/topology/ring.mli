@@ -1,0 +1,26 @@
+(** Ring networks — the canonical cyclic topology for the fixed-point
+    (feedback) analysis.
+
+    [n] FIFO servers arranged in a cycle; flow [i] (one per server)
+    enters at server [i] and traverses [hops] consecutive servers
+    (indices mod [n]) before leaving.  Every server carries exactly
+    [hops] flows, so with per-flow rate [rho = utilization / hops] each
+    server runs at [utilization].  The routing graph contains the full
+    cycle whenever [n >= 2] and [hops >= 2], which is exactly the
+    configuration the paper's Sec. 5 excludes from Algorithm Integrated
+    and the fixed-point engine handles.  Famously, such rings can defy
+    the decomposition fixed point well below utilization 1. *)
+
+type t = { network : Network.t; n : int }
+
+val make :
+  n:int ->
+  hops:int ->
+  utilization:float ->
+  ?sigma:float ->
+  ?peak:float ->
+  unit ->
+  t
+(** Requires [2 <= hops <= n] and utilization in (0, 1).
+    [sigma] defaults to 1, [peak] to [infinity].
+    @raise Invalid_argument otherwise. *)

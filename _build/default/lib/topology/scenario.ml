@@ -1,0 +1,164 @@
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+let discipline_of_string line = function
+  | "fifo" -> Discipline.Fifo
+  | "sp" -> Discipline.Static_priority
+  | "edf" -> Discipline.Edf
+  | "gps" -> Discipline.Gps
+  | s -> fail line "unknown discipline %S (want fifo|sp|edf|gps)" s
+
+let discipline_to_string = function
+  | Discipline.Fifo -> "fifo"
+  | Discipline.Static_priority -> "sp"
+  | Discipline.Edf -> "edf"
+  | Discipline.Gps -> "gps"
+
+(* Split "key=value" attributes; bare words are rejected. *)
+let parse_attrs line words =
+  List.map
+    (fun w ->
+      match String.index_opt w '=' with
+      | Some i ->
+          (String.sub w 0 i, String.sub w (i + 1) (String.length w - i - 1))
+      | None -> fail line "expected key=value, got %S" w)
+    words
+
+let float_attr line key v =
+  match (v, float_of_string_opt v) with
+  | "inf", _ -> infinity
+  | _, Some f -> f
+  | _, None -> fail line "attribute %s: not a number: %S" key v
+
+let int_attr line key v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> fail line "attribute %s: not an integer: %S" key v
+
+let lookup attrs key = List.assoc_opt key attrs
+
+let require line attrs key =
+  match lookup attrs key with
+  | Some v -> v
+  | None -> fail line "missing required attribute %s" key
+
+let parse_server line = function
+  | id :: rest ->
+      let id =
+        match int_of_string_opt id with
+        | Some i -> i
+        | None -> fail line "server id must be an integer, got %S" id
+      in
+      let attrs = parse_attrs line rest in
+      let rate = float_attr line "rate" (require line attrs "rate") in
+      let discipline =
+        match lookup attrs "disc" with
+        | Some d -> discipline_of_string line d
+        | None -> Discipline.Fifo
+      in
+      let name = lookup attrs "name" in
+      (try Server.make ~id ?name ~rate ~discipline ()
+       with Invalid_argument m -> fail line "%s" m)
+  | [] -> fail line "server: missing id"
+
+let parse_flow line = function
+  | id :: rest ->
+      let id =
+        match int_of_string_opt id with
+        | Some i -> i
+        | None -> fail line "flow id must be an integer, got %S" id
+      in
+      let attrs = parse_attrs line rest in
+      let sigma = float_attr line "sigma" (require line attrs "sigma") in
+      let rho = float_attr line "rho" (require line attrs "rho") in
+      let peak =
+        match lookup attrs "peak" with
+        | Some v -> float_attr line "peak" v
+        | None -> infinity
+      in
+      let route =
+        require line attrs "route" |> String.split_on_char ','
+        |> List.map (fun s ->
+               match int_of_string_opt (String.trim s) with
+               | Some i -> i
+               | None -> fail line "route: not an integer: %S" s)
+      in
+      let deadline =
+        Option.map (float_attr line "deadline") (lookup attrs "deadline")
+      in
+      let priority =
+        Option.map (int_attr line "priority") (lookup attrs "priority")
+      in
+      let weight =
+        Option.map (float_attr line "weight") (lookup attrs "weight")
+      in
+      let name = lookup attrs "name" in
+      (try
+         let arrival = Arrival.token_bucket ~peak ~sigma ~rho () in
+         Flow.make ~id ?name ~arrival ~route ?deadline ?priority ?weight ()
+       with Invalid_argument m -> fail line "%s" m)
+  | [] -> fail line "flow: missing id"
+
+let parse content =
+  let servers = ref [] and flows = ref [] in
+  String.split_on_char '\n' content
+  |> List.iteri (fun i raw ->
+         let line = i + 1 in
+         let text =
+           match String.index_opt raw '#' with
+           | Some j -> String.sub raw 0 j
+           | None -> raw
+         in
+         match
+           String.split_on_char ' ' text
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun w -> w <> "")
+         with
+         | [] -> ()
+         | "server" :: rest -> servers := parse_server line rest :: !servers
+         | "flow" :: rest -> flows := parse_flow line rest :: !flows
+         | word :: _ -> fail line "unknown declaration %S" word);
+  try Network.make ~servers:(List.rev !servers) ~flows:(List.rev !flows)
+  with Invalid_argument m -> raise (Parse_error (0, m))
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  parse content
+
+let float_str f = if f = infinity then "inf" else Printf.sprintf "%.12g" f
+
+let to_string net =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (s : Server.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "server %d rate=%s disc=%s name=%s\n" s.id
+           (float_str s.rate)
+           (discipline_to_string s.discipline)
+           s.name))
+    (Network.servers net);
+  List.iter
+    (fun (f : Flow.t) ->
+      let sigma, rho, peak = Arrival.token_params f.arrival in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "flow %d sigma=%s rho=%s peak=%s route=%s priority=%d weight=%s%s \
+            name=%s\n"
+           f.id (float_str sigma) (float_str rho) (float_str peak)
+           (String.concat "," (List.map string_of_int f.route))
+           f.priority (float_str f.weight)
+           (match f.deadline with
+           | Some d -> " deadline=" ^ float_str d
+           | None -> "")
+           f.name))
+    (Network.flows net);
+  Buffer.contents buf
+
+let save path net =
+  let oc = open_out path in
+  output_string oc (to_string net);
+  close_out oc

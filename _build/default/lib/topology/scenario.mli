@@ -1,0 +1,41 @@
+(** A small plain-text format for describing networks, so scenarios can
+    live in files and be fed to the CLI.
+
+    Grammar (one declaration per line; [#] starts a comment):
+
+    {v
+    server <id> rate=<float> [disc=fifo|sp|edf|gps] [name=<string>]
+    flow <id> sigma=<float> rho=<float> route=<id,id,...>
+         [peak=<float>] [deadline=<float>] [priority=<int>]
+         [weight=<float>] [name=<string>]
+    v}
+
+    Example:
+
+    {v
+    # two switches, one video flow and one cross flow
+    server 0 rate=1
+    server 1 rate=1
+    flow 0 sigma=1 rho=0.15 peak=1 route=0,1 name=video deadline=9
+    flow 1 sigma=1 rho=0.2  peak=1 route=0   name=cross
+    v} *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> Network.t
+(** Parse a scenario from its textual content.
+    @raise Parse_error on malformed input (including the errors
+    {!Network.make} would raise, tagged with the offending line). *)
+
+val load : string -> Network.t
+(** Read and {!parse} a file.  @raise Sys_error on I/O failure. *)
+
+val to_string : Network.t -> string
+(** Render a network in the same format; [parse (to_string net)]
+    reconstructs an equivalent network (round-trip tested).
+    Limitations: names must not contain whitespace, and arrival curves
+    are serialized through {!Arrival.token_params}, so multi-bucket
+    envelopes degrade to their single-token-bucket description. *)
+
+val save : string -> Network.t -> unit

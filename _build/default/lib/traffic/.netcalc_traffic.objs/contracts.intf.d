@@ -1,0 +1,1 @@
+lib/traffic/contracts.mli: Arrival

@@ -1,0 +1,1 @@
+lib/traffic/flow.ml: Arrival Format List

@@ -1,0 +1,1 @@
+lib/traffic/flow.mli: Arrival Format Pwl

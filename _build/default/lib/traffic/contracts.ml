@@ -1,0 +1,27 @@
+let atm_cbr ~pcr ?(cdvt = 0.) ?(cell = 1.) () =
+  if pcr <= 0. then invalid_arg "Contracts.atm_cbr: pcr <= 0";
+  if cdvt < 0. then invalid_arg "Contracts.atm_cbr: negative cdvt";
+  Arrival.token_bucket ~sigma:(cell +. (pcr *. cdvt)) ~rho:pcr ()
+
+let atm_vbr ~pcr ~scr ~mbs ?(cell = 1.) () =
+  if scr <= 0. || scr > pcr then
+    invalid_arg "Contracts.atm_vbr: need 0 < scr <= pcr";
+  if mbs < 1. then invalid_arg "Contracts.atm_vbr: mbs < 1";
+  let sigma_s = cell +. ((mbs -. 1.) *. (1. -. (scr /. pcr)) *. cell) in
+  Arrival.make
+    (Arrival.Multi
+       [
+         Arrival.Token_bucket { sigma = cell; rho = pcr; peak = infinity };
+         Arrival.Token_bucket { sigma = sigma_s; rho = scr; peak = infinity };
+       ])
+
+let intserv_tspec ~peak ~rate ~bucket ~max_packet =
+  if rate > peak then invalid_arg "Contracts.intserv_tspec: rate > peak";
+  if max_packet > bucket then
+    invalid_arg "Contracts.intserv_tspec: max_packet > bucket";
+  Arrival.make
+    (Arrival.Multi
+       [
+         Arrival.Token_bucket { sigma = max_packet; rho = peak; peak = infinity };
+         Arrival.Token_bucket { sigma = bucket; rho = rate; peak = infinity };
+       ])

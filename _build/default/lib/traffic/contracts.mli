@@ -1,0 +1,29 @@
+(** Standard traffic contracts mapped to arrival curves.
+
+    The paper targets ATM and integrated-services packet networks;
+    this module translates their traffic descriptors into the
+    token-bucket envelopes the analyses consume.
+
+    Units are up to the caller: pick a data unit (cells, bytes) and a
+    time unit, and keep rates consistent.  [cell] defaults to [1.]
+    (work in cells). *)
+
+val atm_cbr : pcr:float -> ?cdvt:float -> ?cell:float -> unit -> Arrival.t
+(** Constant bit rate: peak cell rate [pcr] policed with cell delay
+    variation tolerance [cdvt] (default 0): envelope
+    [cell + pcr * (t + cdvt)] capped at peak — i.e. a token bucket with
+    burst [cell + pcr * cdvt] and rate [pcr]. *)
+
+val atm_vbr :
+  pcr:float -> scr:float -> mbs:float -> ?cell:float -> unit -> Arrival.t
+(** Variable bit rate: peak cell rate, sustainable cell rate and
+    maximum burst size (in cells).  Dual leaky bucket
+    [min (cell + pcr t, sigma_s + scr t)] with the standard burst
+    tolerance [sigma_s = cell + (mbs - 1) (1 - scr / pcr) cell].
+    Requires [0 < scr <= pcr] and [mbs >= 1]. *)
+
+val intserv_tspec :
+  peak:float -> rate:float -> bucket:float -> max_packet:float -> Arrival.t
+(** IETF integrated-services TSpec [(p, r, b, M)]:
+    [min (M + p t, b + r t)].  Requires [rate <= peak],
+    [max_packet <= bucket]. *)

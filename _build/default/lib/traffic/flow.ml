@@ -1,0 +1,51 @@
+type t = {
+  id : int;
+  name : string;
+  arrival : Arrival.t;
+  route : int list;
+  deadline : float option;
+  priority : int;
+  weight : float;
+}
+
+let make ~id ?name ~arrival ~route ?deadline ?(priority = 0) ?(weight = 1.) ()
+    =
+  if route = [] then invalid_arg "Flow.make: empty route";
+  let sorted = List.sort_uniq compare route in
+  if List.length sorted <> List.length route then
+    invalid_arg "Flow.make: route visits a server twice";
+  if weight <= 0. then invalid_arg "Flow.make: nonpositive weight";
+  (match deadline with
+  | Some d when d <= 0. -> invalid_arg "Flow.make: nonpositive deadline"
+  | _ -> ());
+  let name = match name with Some n -> n | None -> "flow" ^ string_of_int id in
+  { id; name; arrival; route; deadline; priority; weight }
+
+let source_curve f = Arrival.curve f.arrival
+let rate f = Arrival.rate f.arrival
+let burst f = Arrival.burst f.arrival
+let traverses f s = List.mem s f.route
+
+let rec next_in_list s = function
+  | a :: (b :: _ as rest) -> if a = s then Some b else next_in_list s rest
+  | _ -> None
+
+let next_hop f s = next_in_list s f.route
+let prev_hop f s = next_in_list s (List.rev f.route)
+
+let first_hop f = List.hd f.route
+let last_hop f = List.nth f.route (List.length f.route - 1)
+
+let hop_pairs f =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  pairs f.route
+
+let pp ppf f =
+  Format.fprintf ppf "%s: route [%a], sigma=%g rho=%g" f.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    f.route (burst f) (rate f)

@@ -1,0 +1,1 @@
+lib/util/float_ops.ml: Float List

@@ -1,0 +1,1 @@
+lib/util/table.ml: Filename List Printf Stdlib String Sys

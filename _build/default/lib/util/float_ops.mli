@@ -1,0 +1,40 @@
+(** Tolerant floating-point comparisons and guarded arithmetic.
+
+    Every quantity in the analysis (times, rates, amounts of traffic) is a
+    nonnegative float, with [infinity] used for unbounded delays and
+    unconstrained curves.  All comparisons in the piecewise-linear algebra
+    go through this module so the tolerance policy lives in one place. *)
+
+val eps : float
+(** Absolute/relative tolerance used by the [=~] family, [1e-9]. *)
+
+val ( =~ ) : float -> float -> bool
+(** [a =~ b] holds when [a] and [b] are equal up to a mixed
+    absolute/relative tolerance of {!eps}.  Both infinities compare equal
+    to themselves. *)
+
+val ( <~ ) : float -> float -> bool
+(** [a <~ b] is [a < b] and not [a =~ b]: strictly less, beyond tolerance. *)
+
+val ( <=~ ) : float -> float -> bool
+(** [a <=~ b] is [a < b || a =~ b]. *)
+
+val is_finite : float -> bool
+(** True for ordinary floats; false for [nan] and both infinities. *)
+
+val div : float -> float -> float
+(** [div a b] is [a /. b] with the conventions [div 0. 0. = 0.] and
+    [div a 0. = infinity] for [a > 0.].  Negative numerators with zero
+    denominator yield [neg_infinity]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp into [\[lo, hi\]].  Requires [lo <= hi]. *)
+
+val positive_part : float -> float
+(** [positive_part x] is [max x 0.]. *)
+
+val max_list : float list -> float
+(** Maximum of a list, [neg_infinity] on the empty list. *)
+
+val min_list : float list -> float
+(** Minimum of a list, [infinity] on the empty list. *)

@@ -1,0 +1,13 @@
+let linspace ~lo ~hi ~n =
+  assert (n >= 1);
+  if n = 1 then [ lo ]
+  else
+    List.init n (fun i ->
+        lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+
+let steps ~lo ~hi ~step =
+  assert (step > 0.);
+  let rec loop acc x =
+    if x > hi +. (step /. 2.) then List.rev acc else loop (x :: acc) (x +. step)
+  in
+  loop [] lo

@@ -1,0 +1,1 @@
+test/test_backlog.ml: Alcotest Arrival Decomposed Fifo Float Flow List Network Printf Pwl QCheck2 Server Sim Tandem Testutil

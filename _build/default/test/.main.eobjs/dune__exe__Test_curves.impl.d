@@ -1,0 +1,1 @@
+test/test_curves.ml: Alcotest Arrival Pwl QCheck2 Service Testutil

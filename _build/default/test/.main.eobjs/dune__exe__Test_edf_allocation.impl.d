@@ -1,0 +1,1 @@
+test/test_edf_allocation.ml: Alcotest Arrival Discipline Edf_allocation Flow List Network Printf QCheck2 Server Sim Stdlib Testutil Validate

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Admission Alcotest Arrival Decomposed Engine Fifo_theta Float Flow Integrated List Minplus Network Pairing Pwl Server Service_curve_method Sim Source Tandem Testutil

@@ -1,0 +1,1 @@
+test/test_fixed_point.ml: Alcotest Decomposed Fixed_point Float Flow List Network Ring Server Sim Tandem Testutil Validate

@@ -1,0 +1,1 @@
+test/test_fluid.ml: Alcotest Arrival Decomposed Discipline Fifo Float Flow Fluid Integrated List Minplus Network Pairing Printf Pwl QCheck2 Server Tandem Testutil

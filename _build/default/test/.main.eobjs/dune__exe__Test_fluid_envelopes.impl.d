@@ -1,0 +1,1 @@
+test/test_fluid_envelopes.ml: Arrival Decomposed Flow Fluid Integrated List Network Pairing Printf Pwl QCheck2 Tandem Testutil

@@ -1,0 +1,1 @@
+test/test_heterogeneous.ml: Decomposed Float Flow Fluid Integrated List Network Pair_analysis Pairing Pwl QCheck2 Randomnet Server Testutil

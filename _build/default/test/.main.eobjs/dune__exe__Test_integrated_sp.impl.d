@@ -1,0 +1,1 @@
+test/test_integrated_sp.ml: Alcotest Arrival Decomposed Discipline Flow Integrated Integrated_sp List Network Options Pairing Printf QCheck2 Randomnet Server Sim Tandem Testutil Validate

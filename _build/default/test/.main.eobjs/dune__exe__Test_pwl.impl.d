@@ -1,0 +1,1 @@
+test/test_pwl.ml: Alcotest Deviation Float List Minplus Pwl QCheck2 Testutil

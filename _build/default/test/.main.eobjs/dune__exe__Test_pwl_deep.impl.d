@@ -1,0 +1,1 @@
+test/test_pwl_deep.ml: Deviation Float List Minplus Pwl QCheck2 Testutil

@@ -1,0 +1,1 @@
+test/test_pwl_differential.ml: Float List Minplus Pwl QCheck2 Testutil

@@ -1,0 +1,1 @@
+test/test_report.ml: Arrival Decomposed Flow Integrated List Network Pairing Printf Report Service_curve_method Sim String Tandem Testutil Validate

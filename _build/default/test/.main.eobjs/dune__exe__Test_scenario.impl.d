@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Arrival Contracts Decomposed Filename Float Flow Integrated List Network Pairing QCheck2 Randomnet Ring Scenario Server Sys Tandem Testutil

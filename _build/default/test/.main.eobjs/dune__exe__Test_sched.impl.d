@@ -1,0 +1,1 @@
+test/test_sched.ml: Edf Fifo Float Gps List Pwl QCheck2 Service Static_priority Testutil

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Arrival Dot Flow List Network Printf QCheck2 Randomnet Server String Tandem Testutil

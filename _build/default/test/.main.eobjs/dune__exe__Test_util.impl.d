@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Float Float_ops List String Sweep Table Testutil

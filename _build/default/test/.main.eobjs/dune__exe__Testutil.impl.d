@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Float Minplus Pwl QCheck2 QCheck_alcotest

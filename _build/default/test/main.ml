@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "netcalc"
+    [
+      Test_util.suite;
+      Test_pwl.suite;
+      Test_pwl_deep.suite;
+      Test_pwl_differential.suite;
+      Test_curves.suite;
+      Test_sched.suite;
+      Test_topology.suite;
+      Test_analysis.suite;
+      Test_sim.suite;
+      Test_fluid.suite;
+      Test_fluid_envelopes.suite;
+      Test_integrated_sp.suite;
+      Test_fixed_point.suite;
+      Test_backlog.suite;
+      Test_scenario.suite;
+      Test_report.suite;
+      Test_edge_cases.suite;
+      Test_heterogeneous.suite;
+      Test_edf_allocation.suite;
+    ]

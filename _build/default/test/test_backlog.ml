@@ -1,0 +1,165 @@
+(* Backlog bounds and buffer dimensioning. *)
+
+open Testutil
+
+let test_single_server_backlog () =
+  let f =
+    Flow.make ~id:0 ~arrival:(Arrival.token_bucket ~sigma:3. ~rho:0.5 ())
+      ~route:[ 0 ] ()
+  in
+  let net =
+    Network.make ~servers:[ Server.make ~id:0 ~rate:1. () ] ~flows:[ f ]
+  in
+  let a = Decomposed.analyze net in
+  approx "backlog = burst" 3. (Decomposed.server_backlog a 0);
+  approx "busy period" 6. (Decomposed.server_busy_period a 0)
+
+let test_backlog_grows_downstream () =
+  (* Along the tandem the propagated envelopes get burstier, so buffer
+     requirements at the middle ports grow with the hop index. *)
+  let t = Tandem.make ~n:5 ~utilization:0.7 () in
+  let a = Decomposed.analyze t.network in
+  let backlogs = List.map (Decomposed.server_backlog a) t.mid_servers in
+  let rec nondecreasing = function
+    | x :: (y :: _ as rest) -> x <= y +. 1e-9 && nondecreasing rest
+    | _ -> true
+  in
+  check_bool "nondecreasing along the chain" true
+    (nondecreasing (List.tl backlogs));
+  List.iter (fun b -> check_bool "finite" true (Float.is_finite b)) backlogs
+
+let test_backlog_dominates_simulation () =
+  let t = Tandem.make ~n:4 ~utilization:0.8 ~peak:infinity () in
+  let net = t.network in
+  let a = Decomposed.analyze net in
+  let packet_size = 0.2 in
+  let res =
+    Sim.run ~config:{ Sim.default_config with packet_size; horizon = 300. } net
+  in
+  List.iter
+    (fun (s : Server.t) ->
+      let observed = Sim.server_max_backlog res s.id in
+      let bound = Decomposed.server_backlog a s.id in
+      (* Packetized arrivals are impulses: grant one packet per
+         incoming link over the fluid envelope. *)
+      let allowance =
+        packet_size
+        *. float_of_int (List.length (Network.flows_at net s.id))
+      in
+      check_bool
+        (Printf.sprintf "backlog bound at %s: %.3f <= %.3f + %.3f" s.name
+           observed bound allowance)
+        true
+        (observed <= bound +. allowance +. 1e-9))
+    (Network.servers net)
+
+let test_idle_server () =
+  let net =
+    Network.make
+      ~servers:[ Server.make ~id:0 ~rate:1. (); Server.make ~id:1 ~rate:1. () ]
+      ~flows:
+        [
+          Flow.make ~id:0 ~arrival:(Arrival.token_bucket ~sigma:1. ~rho:0.1 ())
+            ~route:[ 0 ] ();
+        ]
+  in
+  let a = Decomposed.analyze net in
+  approx "idle backlog" 0. (Decomposed.server_backlog a 1);
+  approx "idle busy period" 0. (Decomposed.server_busy_period a 1)
+
+let prop_backlog_at_least_delay_times_nothing =
+  (* Classic relation at a constant-rate server: backlog = delay * rate
+     for the FIFO aggregate bound (both are deviations of the same
+     envelope). *)
+  qtest "backlog = rate * delay at a FIFO server"
+    QCheck2.Gen.(triple gen_burst (float_range 0.05 0.7) (float_range 0.5 3.))
+    (fun (sigma, rho, rate) ->
+      QCheck2.assume (rho < rate -. 1e-3);
+      let agg = Pwl.affine ~y0:sigma ~slope:rho in
+      let d = Fifo.local_delay ~rate ~agg in
+      let b = Fifo.backlog ~rate ~agg in
+      Float.abs (b -. (rate *. d)) <= 1e-6 *. Float.max 1. b)
+
+let test_local_delay_bounds_dominate_simulation () =
+  (* Finer-grained than the end-to-end check: the per-server local
+     delay bound must dominate the worst simulated single-hop delay
+     (one packet of store-and-forward allowance per hop). *)
+  let t = Tandem.make ~n:4 ~utilization:0.8 ~peak:infinity () in
+  let net = t.network in
+  let a = Decomposed.analyze net in
+  let packet_size = 0.2 in
+  let res =
+    Sim.run ~config:{ Sim.default_config with packet_size; horizon = 300. } net
+  in
+  List.iter
+    (fun (s : Server.t) ->
+      let observed = Sim.server_max_delay res s.id in
+      let bound = Decomposed.server_delay a s.id in
+      check_bool
+        (Printf.sprintf "local bound at %s: %.3f <= %.3f + %.3f" s.name
+           observed bound (packet_size /. s.rate))
+        true
+        (observed <= bound +. (packet_size /. s.rate) +. 1e-9))
+    (Network.servers net)
+
+let test_buffer_dimensioning_no_loss () =
+  (* Provision every server's buffer at its backlog bound (plus the
+     packetization grace): the simulation must drop nothing. *)
+  let t = Tandem.make ~n:4 ~utilization:0.8 ~peak:infinity () in
+  let net = t.network in
+  let a = Decomposed.analyze net in
+  let packet_size = 0.25 in
+  let buffers =
+    List.map
+      (fun (s : Server.t) ->
+        let grace =
+          packet_size *. float_of_int (List.length (Network.flows_at net s.id))
+        in
+        (s.id, Decomposed.server_backlog a s.id +. grace))
+      (Network.servers net)
+  in
+  let res =
+    Sim.run
+      ~config:{ Sim.default_config with packet_size; horizon = 300.; buffers }
+      net
+  in
+  Alcotest.(check int) "zero drops with dimensioned buffers" 0
+    (Sim.total_drops res)
+
+let test_undersized_buffers_drop () =
+  let t = Tandem.make ~n:3 ~utilization:0.8 ~peak:infinity () in
+  let net = t.network in
+  let packet_size = 0.25 in
+  (* First measure the real peaks, then provision at half of them. *)
+  let free =
+    Sim.run ~config:{ Sim.default_config with packet_size; horizon = 200. } net
+  in
+  let buffers =
+    List.filter_map
+      (fun (s : Server.t) ->
+        let peak = Sim.server_max_backlog free s.id in
+        if peak > packet_size then Some (s.id, peak /. 2.) else None)
+      (Network.servers net)
+  in
+  let res =
+    Sim.run
+      ~config:{ Sim.default_config with packet_size; horizon = 200.; buffers }
+      net
+  in
+  check_bool "halved buffers cause drops" true (Sim.total_drops res > 0)
+
+
+let suite =
+  ( "backlog",
+    [
+      test "single server" test_single_server_backlog;
+      test "grows downstream" test_backlog_grows_downstream;
+      test "dominates simulated backlog" test_backlog_dominates_simulation;
+      test "local delay bounds dominate per-hop simulation"
+        test_local_delay_bounds_dominate_simulation;
+      test "idle server" test_idle_server;
+      test "buffer dimensioning prevents loss"
+        test_buffer_dimensioning_no_loss;
+      test "undersized buffers drop" test_undersized_buffers_drop;
+      prop_backlog_at_least_delay_times_nothing;
+    ] )

@@ -1,0 +1,134 @@
+(* EDF end-to-end deadline allocation (the paper's ref [28] problem). *)
+
+open Testutil
+
+let edf_net ~flows =
+  let max_id =
+    List.fold_left
+      (fun acc (f : Flow.t) -> List.fold_left Stdlib.max acc f.route)
+      0 flows
+  in
+  Network.make
+    ~servers:
+      (List.init (max_id + 1) (fun id ->
+           Server.make ~id ~rate:1. ~discipline:Discipline.Edf ()))
+    ~flows
+
+let flow ~id ~sigma ~rho ~route ~deadline =
+  Flow.make ~id ~arrival:(Arrival.token_bucket ~sigma ~rho ()) ~route ~deadline ()
+
+let test_single_flow_allocation () =
+  (* One flow, two hops, tight budget: the minimal local deadline at
+     each hop is sigma (the burst must clear), so any end-to-end
+     deadline >= 2 sigma is certified. *)
+  let f = flow ~id:0 ~sigma:1. ~rho:0.2 ~route:[ 0; 1 ] ~deadline:2.4 in
+  let a = Edf_allocation.allocate (edf_net ~flows:[ f ]) in
+  check_bool "feasible" true (Edf_allocation.flow_feasible a 0);
+  check_bool "bound within deadline" true (Edf_allocation.flow_bound a 0 <= 2.4)
+
+let test_unbalanced_load_beats_equal_split () =
+  (* Hop 0 is saturated early by two pure-burst crosses with tight
+     deadlines (their demand fills capacity up to t = 2), so the long
+     flow needs a local deadline of about 3.2 there; hop 1 only needs
+     its inflated burst (~1.2).  With an end-to-end budget of 5 the
+     equal split (2.5 per hop) fails at the busy hop, while the
+     need-proportional allocation succeeds. *)
+  let long = flow ~id:0 ~sigma:1. ~rho:0.05 ~route:[ 0; 1 ] ~deadline:5. in
+  let c1 = flow ~id:1 ~sigma:1. ~rho:0. ~route:[ 0 ] ~deadline:1. in
+  let c2 = flow ~id:2 ~sigma:1. ~rho:0. ~route:[ 0 ] ~deadline:2. in
+  let net = edf_net ~flows:[ long; c1; c2 ] in
+  let a = Edf_allocation.allocate net in
+  check_bool "allocation feasible" true (Edf_allocation.all_feasible a);
+  check_bool "busy hop gets more budget" true
+    (Edf_allocation.local_deadline a ~flow:0 ~server:0
+    > Edf_allocation.local_deadline a ~flow:0 ~server:1);
+  check_bool "equal split fails here" false
+    (Edf_allocation.equal_split_feasible net 0)
+
+let prop_never_worse_than_equal_split =
+  qtest ~count:40 "allocation feasible whenever the equal split is"
+    QCheck2.Gen.(
+      triple (float_range 0.5 2.) (float_range 0.05 0.2) (float_range 4. 20.))
+    (fun (sigma, rho, deadline) ->
+      let flows =
+        [
+          flow ~id:0 ~sigma ~rho ~route:[ 0; 1; 2 ] ~deadline;
+          flow ~id:1 ~sigma ~rho ~route:[ 0; 1 ] ~deadline;
+          flow ~id:2 ~sigma ~rho ~route:[ 1; 2 ] ~deadline;
+        ]
+      in
+      let net = edf_net ~flows in
+      let equal_ok =
+        List.for_all (fun (f : Flow.t) -> Edf_allocation.equal_split_feasible net f.id) flows
+      in
+      (not equal_ok) || Edf_allocation.all_feasible (Edf_allocation.allocate net))
+
+let test_overload_reported () =
+  let f1 = flow ~id:0 ~sigma:1. ~rho:0.6 ~route:[ 0 ] ~deadline:10. in
+  let f2 = flow ~id:1 ~sigma:1. ~rho:0.6 ~route:[ 0 ] ~deadline:10. in
+  let a = Edf_allocation.allocate (edf_net ~flows:[ f1; f2 ]) in
+  check_bool "overloaded server infeasible" false (Edf_allocation.all_feasible a);
+  check_bool "per-flow infeasible" false (Edf_allocation.flow_feasible a 0)
+
+let test_allocation_validates_in_simulation () =
+  (* Run the EDF packet simulator with the allocated local deadlines
+     baked in as flow deadlines: observed delays stay within the
+     certified end-to-end bounds (plus packetization). *)
+  let long = flow ~id:0 ~sigma:1. ~rho:0.15 ~route:[ 0; 1 ] ~deadline:5. in
+  let c1 = flow ~id:1 ~sigma:1. ~rho:0.15 ~route:[ 0 ] ~deadline:5. in
+  let c2 = flow ~id:2 ~sigma:1. ~rho:0.15 ~route:[ 1 ] ~deadline:5. in
+  let net = edf_net ~flows:[ long; c1; c2 ] in
+  let a = Edf_allocation.allocate net in
+  check_bool "feasible" true (Edf_allocation.all_feasible a);
+  let packet_size = 0.25 in
+  let res =
+    Sim.run ~config:{ Sim.default_config with packet_size; horizon = 200. } net
+  in
+  List.iter
+    (fun (f : Flow.t) ->
+      let allowance =
+        Validate.store_and_forward_allowance ~packet_size net f
+      in
+      check_bool
+        (Printf.sprintf "%s simulated within certified bound" f.name)
+        true
+        (Sim.max_delay res f.id
+        <= Edf_allocation.flow_bound a f.id +. allowance +. 1e-9))
+    (Network.flows net)
+
+let test_rejects_bad_inputs () =
+  let fifo_net =
+    Network.make
+      ~servers:[ Server.make ~id:0 ~rate:1. () ]
+      ~flows:[ flow ~id:0 ~sigma:1. ~rho:0.1 ~route:[ 0 ] ~deadline:5. ]
+  in
+  (try
+     ignore (Edf_allocation.allocate fifo_net);
+     Alcotest.fail "expected Invalid_argument for FIFO server"
+   with Invalid_argument _ -> ());
+  let no_deadline =
+    Network.make
+      ~servers:[ Server.make ~id:0 ~rate:1. ~discipline:Discipline.Edf () ]
+      ~flows:
+        [
+          Flow.make ~id:0 ~arrival:(Arrival.token_bucket ~sigma:1. ~rho:0.1 ())
+            ~route:[ 0 ] ();
+        ]
+  in
+  try
+    ignore (Edf_allocation.allocate no_deadline);
+    Alcotest.fail "expected Invalid_argument for missing deadline"
+  with Invalid_argument _ -> ()
+
+let suite =
+  ( "edf-allocation",
+    [
+      test "single flow" test_single_flow_allocation;
+      test "beats the equal split on unbalanced load"
+        test_unbalanced_load_beats_equal_split;
+      prop_never_worse_than_equal_split;
+      test "overload reported" test_overload_reported;
+      test "certified bounds hold in EDF simulation"
+        test_allocation_validates_in_simulation;
+      test "rejects bad inputs" test_rejects_bad_inputs;
+    ] )

@@ -1,0 +1,199 @@
+(* Tests for the exact fluid executor: Reich's equation, FIFO bit
+   ordering, and allowance-free bound validation. *)
+
+open Testutil
+
+let tb ~sigma ~rho = Pwl.affine ~y0:sigma ~slope:rho
+
+let test_conv_with_rate_basics () =
+  (* Token bucket through rate 1: departures ramp at the link rate
+     until the backlog clears at the busy-period end. *)
+  let g = tb ~sigma:2. ~rho:0.25 in
+  let d = Minplus.conv_with_rate ~rate:1. g in
+  approx "starts empty" 0. (Pwl.eval d 0.);
+  approx "link-limited" 1. (Pwl.eval d 1.);
+  (* busy period ends at 2 / 0.75 = 8/3; beyond it D = G. *)
+  approx "after busy period" (Pwl.eval g 4.) (Pwl.eval d 4.);
+  check_bool "below arrivals" true
+    (List.for_all (fun t -> Pwl.eval d t <= Pwl.eval g t +. 1e-9)
+       [ 0.; 0.5; 1.; 2.; 3.; 10. ])
+
+let prop_conv_with_rate_matches_brute_force =
+  qtest ~count:80 "Reich's equation matches brute force"
+    QCheck2.Gen.(triple gen_concave gen_rate gen_time)
+    (fun (g, rate, t) ->
+      let d = Minplus.conv_with_rate ~rate g in
+      let brute =
+        List.fold_left
+          (fun acc i ->
+            let s = t *. float_of_int i /. 400. in
+            Float.min acc (Pwl.eval g s +. (rate *. (t -. s))))
+          (Float.min (rate *. t) (Pwl.eval g t))
+          (List.init 401 (fun i -> i))
+      in
+      (* The grid over-approximates the infimum; include the implicit
+         pre-origin zero (g vanishes before 0). *)
+      let exact = Pwl.eval d t in
+      exact <= brute +. 1e-6
+      && brute -. exact <= 0.05 *. Float.max 1. brute +. 0.1)
+
+let test_running_max () =
+  let zigzag = Pwl.make [ (0., 0., 2.); (1., 2., -1.); (3., 0., 1.) ] in
+  let m = Pwl.running_max zigzag in
+  check_bool "nondecreasing" true (Pwl.is_nondecreasing m);
+  approx "rise" 1. (Pwl.eval m 0.5);
+  approx "holds the peak" 2. (Pwl.eval m 2.);
+  approx "resumes" 3. (Pwl.eval m 6.)
+
+let test_single_flow_pay_burst_once () =
+  let f =
+    Flow.make ~id:0 ~arrival:(Arrival.token_bucket ~sigma:2. ~rho:0.25 ())
+      ~route:[ 0; 1 ] ()
+  in
+  let net =
+    Network.make
+      ~servers:(List.init 2 (fun id -> Server.make ~id ~rate:1. ()))
+      ~flows:[ f ]
+  in
+  let r = Fluid.run net in
+  (* Exact worst case is sigma; the finite burst peak shaves
+     O(sigma / 1e4). *)
+  approx ~tol:1e-3 "exact fluid delay" 2. (Fluid.flow_delay r 0);
+  (* And it matches the integrated bound, demonstrating tightness of
+     pay-bursts-only-once in this configuration. *)
+  approx ~tol:1e-3 "integrated bound achieved" 2.
+    (Integrated.flow_delay (Integrated.analyze ~strategy:(Pairing.Along_route 0) net) 0)
+
+let test_flow_conservation () =
+  (* Per-flow outputs at a shared server sum to the aggregate
+     departures. *)
+  let mk id sigma rho = Flow.make ~id ~arrival:(Arrival.token_bucket ~sigma ~rho ()) ~route:[ 0 ] () in
+  let net =
+    Network.make ~servers:[ Server.make ~id:0 ~rate:1. () ]
+      ~flows:[ mk 0 1. 0.2; mk 1 2. 0.3 ]
+  in
+  let r = Fluid.run net in
+  let total = Pwl.add (Fluid.output_of r ~flow:0) (Fluid.output_of r ~flow:1) in
+  let g = Pwl.add (Fluid.greedy (Network.flow net 0)) (Fluid.greedy (Network.flow net 1)) in
+  let d = Minplus.conv_with_rate ~rate:1. g in
+  List.iter
+    (fun t ->
+      approx ~tol:1e-6 (Printf.sprintf "conservation at %g" t)
+        (Pwl.eval d t) (Pwl.eval total t))
+    [ 0.5; 1.; 2.; 5.; 12. ]
+
+let test_fluid_below_bounds_no_allowance () =
+  (* The sharpest soundness oracle: exact fluid scenarios conform to
+     the envelopes exactly, so bounds must hold with zero slack
+     granted. *)
+  List.iter
+    (fun (n, u) ->
+      let t = Tandem.make ~n ~utilization:u ~peak:infinity () in
+      let net = t.network in
+      let observed = Fluid.phase_search ~tries:6 net in
+      let integ = Integrated.analyze ~strategy:(Pairing.Along_route 0) net in
+      let dd = Decomposed.analyze net in
+      List.iter
+        (fun (id, obs) ->
+          let f = Network.flow net id in
+          check_bool
+            (Printf.sprintf "%s fluid %.3f <= D_I %.3f (n=%d U=%g)" f.name obs
+               (Integrated.flow_delay integ id) n u)
+            true
+            (obs <= Integrated.flow_delay integ id +. 1e-6);
+          check_bool
+            (Printf.sprintf "%s fluid below D_D" f.name)
+            true
+            (obs <= Decomposed.flow_delay dd id +. 1e-6))
+        observed)
+    [ (2, 0.5); (3, 0.8); (4, 0.9) ]
+
+let test_fluid_backlog_below_bound () =
+  let t = Tandem.make ~n:3 ~utilization:0.8 ~peak:infinity () in
+  let net = t.network in
+  let a = Decomposed.analyze net in
+  let r = Fluid.run net in
+  List.iter
+    (fun (s : Server.t) ->
+      check_bool
+        (Printf.sprintf "fluid backlog at %s below bound" s.name)
+        true
+        (Fluid.server_backlog r s.id
+        <= Decomposed.server_backlog a s.id +. 1e-6))
+    (Network.servers net)
+
+let test_fluid_single_server_tight () =
+  (* One server, aligned greedy sources: the fluid delay equals the
+     FIFO aggregate bound (the bound is tight for a single hop). *)
+  let mk id = Flow.make ~id ~arrival:(Arrival.token_bucket ~sigma:1. ~rho:0.2 ()) ~route:[ 0 ] () in
+  let net =
+    Network.make ~servers:[ Server.make ~id:0 ~rate:1. () ]
+      ~flows:[ mk 0; mk 1; mk 2 ]
+  in
+  let r = Fluid.run net in
+  let bound = Fifo.local_delay ~rate:1. ~agg:(tb ~sigma:3. ~rho:0.6) in
+  approx ~tol:1e-3 "single-hop bound achieved" bound (Fluid.flow_delay r 0)
+
+let test_phase_search_dominates_aligned () =
+  let t = Tandem.make ~n:3 ~utilization:0.7 ~peak:infinity () in
+  let net = t.network in
+  let aligned = Fluid.run net in
+  let searched = Fluid.phase_search ~tries:5 net in
+  List.iter
+    (fun (f : Flow.t) ->
+      check_bool (f.name ^ ": search >= aligned") true
+        (List.assoc f.id searched >= Fluid.flow_delay aligned f.id -. 1e-9))
+    (Network.flows net)
+
+let test_fluid_rejects_unsupported () =
+  let f = Flow.make ~id:0 ~arrival:(Arrival.token_bucket ~sigma:1. ~rho:0.1 ()) ~route:[ 0 ] () in
+  let sp_net =
+    Network.make
+      ~servers:[ Server.make ~id:0 ~rate:1. ~discipline:Discipline.Static_priority () ]
+      ~flows:[ f ]
+  in
+  (try
+     ignore (Fluid.run sp_net);
+     Alcotest.fail "expected Invalid_argument for SP"
+   with Invalid_argument _ -> ());
+  let zero_rate =
+    Flow.make ~id:0 ~arrival:(Arrival.token_bucket ~sigma:1. ~rho:0. ())
+      ~route:[ 0 ] ()
+  in
+  let net0 =
+    Network.make ~servers:[ Server.make ~id:0 ~rate:1. () ] ~flows:[ zero_rate ]
+  in
+  try
+    ignore (Fluid.run net0);
+    Alcotest.fail "expected Invalid_argument for zero rate"
+  with Invalid_argument _ -> ()
+
+let prop_conv_with_rate_equals_min_for_concave =
+  (* For a concave cumulative function vanishing at the origin, Reich's
+     equation reduces to the textbook min (rate t, g t). *)
+  qtest ~count:100 "Reich = min(rate t, g) for concave origin-0 inputs"
+    QCheck2.Gen.(triple gen_burst gen_rate gen_time)
+    (fun (sigma, rho, t) ->
+      let g =
+        Pwl.min_pw (Pwl.affine ~y0:0. ~slope:2.) (Pwl.affine ~y0:sigma ~slope:rho)
+      in
+      let d = Minplus.conv_with_rate ~rate:1. g in
+      let expect = Float.min t (Pwl.eval g t) in
+      Float.abs (Pwl.eval d t -. expect) <= 1e-9 *. Float.max 1. expect)
+
+
+let suite =
+  ( "fluid",
+    [
+      test "Reich's equation basics" test_conv_with_rate_basics;
+      prop_conv_with_rate_matches_brute_force;
+      prop_conv_with_rate_equals_min_for_concave;
+      test "running max" test_running_max;
+      test "pay burst once, exactly" test_single_flow_pay_burst_once;
+      test "per-flow conservation" test_flow_conservation;
+      test "bounds hold with zero allowance" test_fluid_below_bounds_no_allowance;
+      test "fluid backlog below bound" test_fluid_backlog_below_bound;
+      test "single-hop bound is achieved" test_fluid_single_server_tight;
+      test "phase search dominates aligned" test_phase_search_dominates_aligned;
+      test "unsupported inputs rejected" test_fluid_rejects_unsupported;
+    ] )

@@ -1,0 +1,112 @@
+(* Exact-arithmetic validation of envelope propagation: the fluid
+   trajectories of conforming scenarios must satisfy, window by window,
+   the envelopes each analysis claims at every hop — with zero
+   tolerance beyond float noise. *)
+
+open Testutil
+
+(* All-window check: f (t) - f (s) <= env (t - s) for windows anchored
+   at the breakpoints of f (plus midpoints); exact for PL functions up
+   to the sampled anchor set. *)
+let windows_conform ~actual ~env =
+  let anchors =
+    let bps = Pwl.breakpoints actual in
+    let rec mids = function
+      | a :: (b :: _ as rest) -> ((a +. b) /. 2.) :: mids rest
+      | [ a ] -> [ a +. 0.5; a +. 3.7 ]
+      | [] -> []
+    in
+    List.sort_uniq compare (bps @ mids bps)
+  in
+  List.for_all
+    (fun s ->
+      List.for_all
+        (fun t ->
+          t < s
+          || Pwl.eval actual t -. Pwl.eval actual s
+             <= Pwl.eval env (t -. s) +. 1e-6)
+        anchors)
+    anchors
+
+let check_analysis name envelope_at net =
+  let fluid = Fluid.run net in
+  List.iter
+    (fun (f : Flow.t) ->
+      List.iter
+        (fun (s, s') ->
+          match envelope_at ~flow:f.id ~server:s' with
+          | env ->
+              let actual = Fluid.input_at fluid ~flow:f.id ~server:s' in
+              check_bool
+                (Printf.sprintf "%s: %s envelope after server %d holds" name
+                   f.name s)
+                true
+                (windows_conform ~actual ~env)
+          | exception Not_found -> ())
+        (Flow.hop_pairs f))
+    (Network.flows net)
+
+let test_decomposed_envelopes_exact () =
+  let t = Tandem.make ~n:4 ~utilization:0.8 ~peak:infinity () in
+  let a = Decomposed.analyze t.network in
+  check_analysis "decomposed"
+    (fun ~flow ~server -> Decomposed.envelope_at a ~flow ~server)
+    t.network
+
+let test_integrated_envelopes_exact () =
+  let t = Tandem.make ~n:4 ~utilization:0.8 ~peak:infinity () in
+  let a = Integrated.analyze ~strategy:(Pairing.Along_route 0) t.network in
+  check_analysis "integrated"
+    (fun ~flow ~server -> Integrated.envelope_at a ~flow ~server)
+    t.network
+
+let test_envelopes_exact_with_phases () =
+  (* Same property under a phase-staggered scenario. *)
+  let t = Tandem.make ~n:3 ~utilization:0.7 ~peak:infinity () in
+  let net = t.network in
+  let inputs =
+    List.mapi
+      (fun i (f : Flow.t) ->
+        (f.id, Fluid.greedy ~phase:(0.9 *. float_of_int (i mod 3)) f))
+      (Network.flows net)
+  in
+  let fluid = Fluid.run ~inputs net in
+  let a = Decomposed.analyze net in
+  List.iter
+    (fun (f : Flow.t) ->
+      List.iter
+        (fun (s, s') ->
+          let env = Decomposed.envelope_at a ~flow:f.id ~server:s' in
+          let actual = Fluid.input_at fluid ~flow:f.id ~server:s' in
+          check_bool
+            (Printf.sprintf "phased: %s envelope after server %d" f.name s)
+            true
+            (windows_conform ~actual ~env))
+        (Flow.hop_pairs f))
+    (Network.flows net)
+
+let prop_source_realization_conforms =
+  qtest ~count:80 "greedy realizations conform to their own envelope"
+    QCheck2.Gen.(
+      triple (float_range 0.2 4.) (float_range 0.05 0.9)
+        (QCheck2.Gen.float_range 0. 4.))
+    (fun (sigma, rho, phase) ->
+      QCheck2.assume (rho < 1.);
+      let f =
+        Flow.make ~id:0 ~arrival:(Arrival.token_bucket ~sigma ~rho ())
+          ~route:[ 0 ] ()
+      in
+      let actual = Fluid.greedy ~phase f in
+      windows_conform ~actual ~env:(Flow.source_curve f))
+
+let suite =
+  ( "fluid-envelopes",
+    [
+      test "decomposed envelopes hold in exact arithmetic"
+        test_decomposed_envelopes_exact;
+      test "integrated envelopes hold in exact arithmetic"
+        test_integrated_envelopes_exact;
+      test "envelopes hold under phase-staggered scenarios"
+        test_envelopes_exact_with_phases;
+      prop_source_realization_conforms;
+    ] )

@@ -1,0 +1,118 @@
+(* Heterogeneous-rate networks and scaling invariances. *)
+
+open Testutil
+
+let hetero ~seed ~num_flows =
+  Randomnet.generate
+    {
+      Randomnet.default with
+      layers = 3;
+      num_flows;
+      seed;
+      utilization = 0.7;
+      rate_spread = 0.45;
+      peak = infinity;
+    }
+
+let test_hetero_generator () =
+  let net = hetero ~seed:5 ~num_flows:8 in
+  check_bool "feedforward" true (Network.is_feedforward net);
+  check_bool "stable" true (Network.stable net);
+  approx ~tol:1e-6 "max utilization on target" 0.7
+    (Network.max_utilization net);
+  (* Rates actually differ. *)
+  let rates =
+    List.sort_uniq compare
+      (List.map (fun (s : Server.t) -> s.rate) (Network.servers net))
+  in
+  check_bool "heterogeneous rates" true (List.length rates > 1)
+
+let prop_integrated_dominated_hetero =
+  qtest ~count:30 "integrated <= decomposed on heterogeneous-rate nets"
+    QCheck2.Gen.(pair (int_range 2 8) (int_range 0 10_000))
+    (fun (num_flows, seed) ->
+      let net = hetero ~seed ~num_flows in
+      let dd = Decomposed.analyze net in
+      let integ = Integrated.analyze ~strategy:Pairing.Greedy net in
+      List.for_all
+        (fun (f : Flow.t) ->
+          Integrated.flow_delay integ f.id
+          <= Decomposed.flow_delay dd f.id +. 1e-6)
+        (Network.flows net))
+
+let prop_fluid_below_bounds_hetero =
+  qtest ~count:10 "fluid scenarios below bounds on heterogeneous nets"
+    QCheck2.Gen.(pair (int_range 2 6) (int_range 0 3_000))
+    (fun (num_flows, seed) ->
+      let net = hetero ~seed ~num_flows in
+      let integ = Integrated.analyze ~strategy:Pairing.Greedy net in
+      let observed = Fluid.phase_search ~tries:3 ~seed net in
+      List.for_all
+        (fun (id, obs) -> obs <= Integrated.flow_delay integ id +. 1e-6)
+        observed)
+
+(* Homogeneity: scaling every burst by k scales every bound by k
+   (rates fixed); tested on an asymmetric pair. *)
+let prop_pair_bound_homogeneous_in_bursts =
+  qtest ~count:60 "pair bound scales linearly with bursts"
+    QCheck2.Gen.(
+      quad (float_range 0.2 2.) (float_range 0.01 0.2) (float_range 0.5 2.)
+        (float_range 1.5 4.))
+    (fun (sigma, rho, c2, k) ->
+      let mk s = Pwl.affine ~y0:s ~slope:rho in
+      let bound s =
+        (Pair_analysis.analyze
+           {
+             c1 = 1.;
+             c2;
+             s12 = [ mk s ];
+             s1 = [ mk (0.5 *. s) ];
+             s2 = [ mk (2. *. s) ];
+           })
+          .d_pair
+      in
+      let b1 = bound sigma and bk = bound (k *. sigma) in
+      Float.abs (bk -. (k *. b1)) <= 1e-6 *. Float.max 1. bk)
+
+(* Time-rescaling: multiplying all rates (server and source) by k
+   divides all delays by k (bursts fixed). *)
+let prop_pair_bound_time_rescaling =
+  qtest ~count:60 "pair bound inversely scales with a rate rescaling"
+    QCheck2.Gen.(
+      triple (float_range 0.2 2.) (float_range 0.01 0.2) (float_range 1.5 4.))
+    (fun (sigma, rho, k) ->
+      let bound k =
+        (Pair_analysis.analyze
+           {
+             c1 = k;
+             c2 = k;
+             s12 = [ Pwl.affine ~y0:sigma ~slope:(rho *. k) ];
+             s1 = [ Pwl.affine ~y0:sigma ~slope:(rho *. k) ];
+             s2 = [ Pwl.affine ~y0:sigma ~slope:(rho *. k) ];
+           })
+          .d_pair
+      in
+      let b1 = bound 1. and bk = bound k in
+      Float.abs (bk -. (b1 /. k)) <= 1e-6 *. Float.max 1. b1)
+
+let test_asymmetric_pair_directions () =
+  (* Slower second server hurts; faster second server helps. *)
+  let mk () = Pwl.affine ~y0:1. ~slope:0.2 in
+  let bound c2 =
+    (Pair_analysis.analyze
+       { c1 = 1.; c2; s12 = [ mk () ]; s1 = [ mk () ]; s2 = [ mk () ] })
+      .d_pair
+  in
+  check_bool "slower server 2 increases the bound" true (bound 0.7 > bound 1.);
+  check_bool "faster server 2 decreases the bound" true (bound 2. < bound 1.)
+
+let suite =
+  ( "heterogeneous",
+    [
+      test "generator with rate spread" test_hetero_generator;
+      prop_integrated_dominated_hetero;
+      prop_fluid_below_bounds_hetero;
+      prop_pair_bound_homogeneous_in_bursts;
+      prop_pair_bound_time_rescaling;
+      test "asymmetric pair monotonicity" test_asymmetric_pair_directions;
+    ] )

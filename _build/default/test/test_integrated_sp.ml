@@ -1,0 +1,200 @@
+(* Tests for the static-priority integrated engine (the paper's Sec. 5
+   future-work extension). *)
+
+open Testutil
+
+let sp_tandem ?(peak = 1.) n u =
+  Tandem.make ~n ~utilization:u ~peak
+    ~discipline:Discipline.Static_priority ()
+
+let test_fifo_special_case () =
+  (* On an all-FIFO network the SP engine must coincide exactly with
+     the FIFO integrated engine. *)
+  List.iter
+    (fun (n, u) ->
+      let t = Tandem.make ~n ~utilization:u () in
+      let a = Integrated.analyze ~strategy:(Pairing.Along_route 0) t.network in
+      let b =
+        Integrated_sp.analyze ~strategy:(Pairing.Along_route 0) t.network
+      in
+      List.iter
+        (fun (f : Flow.t) ->
+          approx
+            (Printf.sprintf "%s n=%d U=%g" f.name n u)
+            (Integrated.flow_delay a f.id)
+            (Integrated_sp.flow_delay b f.id))
+        (Network.flows t.network))
+    [ (2, 0.4); (4, 0.7); (5, 0.9) ]
+
+let test_sp_beats_decomposed () =
+  List.iter
+    (fun (n, u) ->
+      let t = sp_tandem n u in
+      let dd = Decomposed.analyze t.network in
+      let sp =
+        Integrated_sp.analyze ~strategy:(Pairing.Along_route 0) t.network
+      in
+      List.iter
+        (fun (f : Flow.t) ->
+          check_bool
+            (Printf.sprintf "%s: SP-integrated <= SP-decomposed (n=%d U=%g)"
+               f.name n u)
+            true
+            (Integrated_sp.flow_delay sp f.id
+            <= Decomposed.flow_delay dd f.id +. 1e-9))
+        (Network.flows t.network);
+      check_bool "strictly better for conn0" true
+        (Integrated_sp.flow_delay sp 0 < Decomposed.flow_delay dd 0 -. 1e-6))
+    [ (2, 0.3); (4, 0.6); (8, 0.9) ]
+
+let test_priority_ordering () =
+  (* In the SP tandem, urgent A-flows see (near) zero delay, conn0
+     (middle priority) less than the background B-flows at comparable
+     path lengths. *)
+  let t = sp_tandem 4 0.7 in
+  let sp = Integrated_sp.analyze ~strategy:(Pairing.Along_route 0) t.network in
+  approx "urgent class alone sees no fluid delay" 0.
+    (Integrated_sp.flow_delay sp 1);
+  (* conn0 (priority 1, 4 hops) vs B1 (priority 2, 3 hops). *)
+  check_bool "middle class beats background on comparable paths" true
+    (Integrated_sp.flow_delay sp 0 /. 4.
+    < Integrated_sp.flow_delay sp 4 /. 3.)
+
+let test_rejects_mixed_and_other () =
+  let arrival = Arrival.token_bucket ~sigma:1. ~rho:0.1 () in
+  let mixed =
+    Network.make
+      ~servers:
+        [
+          Server.make ~id:0 ~rate:1. ();
+          Server.make ~id:1 ~rate:1.
+            ~discipline:Discipline.Static_priority ();
+        ]
+      ~flows:[ Flow.make ~id:0 ~arrival ~route:[ 0; 1 ] () ]
+  in
+  (try
+     ignore (Integrated_sp.analyze mixed);
+     Alcotest.fail "expected Invalid_argument for mixed disciplines"
+   with Invalid_argument _ -> ());
+  let gps =
+    Network.make
+      ~servers:[ Server.make ~id:0 ~rate:1. ~discipline:Discipline.Gps () ]
+      ~flows:[ Flow.make ~id:0 ~arrival ~route:[ 0 ] () ]
+  in
+  try
+    ignore (Integrated_sp.analyze gps);
+    Alcotest.fail "expected Invalid_argument for GPS"
+  with Invalid_argument _ -> ()
+
+let test_blocking_increases_bounds () =
+  let t = sp_tandem 4 0.6 in
+  let plain =
+    Integrated_sp.analyze ~strategy:(Pairing.Along_route 0) t.network
+  in
+  let blocked =
+    Integrated_sp.analyze
+      ~options:(Options.with_blocking 0.5 Options.default)
+      ~strategy:(Pairing.Along_route 0) t.network
+  in
+  List.iter
+    (fun (f : Flow.t) ->
+      check_bool (f.name ^ ": blocking never decreases the bound") true
+        (Integrated_sp.flow_delay blocked f.id
+        >= Integrated_sp.flow_delay plain f.id -. 1e-9))
+    (Network.flows t.network)
+
+let test_validation_against_simulator () =
+  (* Non-preemptive packet SP simulator vs preemptive fluid analysis
+     with the blocking term set to the packet size. *)
+  let packet_size = 0.25 in
+  let t = sp_tandem ~peak:infinity 3 0.7 in
+  let net = t.network in
+  let options = Options.with_blocking packet_size Options.default in
+  let bounds_sp =
+    Integrated_sp.all_flow_delays
+      (Integrated_sp.analyze ~options ~strategy:(Pairing.Along_route 0) net)
+  in
+  let bounds_dd = Decomposed.all_flow_delays (Decomposed.analyze ~options net) in
+  let config = { Sim.default_config with packet_size; horizon = 300. } in
+  List.iter
+    (fun (name, bounds) ->
+      let reports = Validate.check ~config ~bounds net in
+      List.iter
+        (fun (r : Validate.report) ->
+          check_bool
+            (Printf.sprintf "%s bound holds for flow %d: %.3f <= %.3f + %.3f"
+               name r.flow r.observed r.bound r.allowance)
+            true (r.slack >= -1e-6))
+        reports)
+    [ ("sp-integrated", bounds_sp); ("sp-decomposed", bounds_dd) ]
+
+let prop_sp_dominated_on_random_nets =
+  qtest ~count:25 "SP-integrated <= SP-decomposed on random feedforward nets"
+    QCheck2.Gen.(triple (int_range 2 4) (int_range 2 8) (int_range 0 5_000))
+    (fun (layers, num_flows, seed) ->
+      let base =
+        Randomnet.generate
+          { Randomnet.default with layers; num_flows; seed; utilization = 0.7 }
+      in
+      (* Re-type every server as static priority and spread flow
+         priorities deterministically. *)
+      let servers =
+        List.map
+          (fun (s : Server.t) ->
+            Server.make ~id:s.id ~name:s.name ~rate:s.rate
+              ~discipline:Discipline.Static_priority ())
+          (Network.servers base)
+      in
+      let flows =
+        List.map
+          (fun (f : Flow.t) ->
+            Flow.make ~id:f.id ~name:f.name ~arrival:f.arrival ~route:f.route
+              ~priority:(f.id mod 3) ~weight:f.weight ())
+          (Network.flows base)
+      in
+      let net = Network.make ~servers ~flows in
+      let dd = Decomposed.analyze net in
+      let sp = Integrated_sp.analyze ~strategy:Pairing.Greedy net in
+      List.for_all
+        (fun (f : Flow.t) ->
+          Integrated_sp.flow_delay sp f.id
+          <= Decomposed.flow_delay dd f.id +. 1e-6)
+        flows)
+
+let test_priority_demotion_hurts () =
+  (* Demoting conn0 from middle to background priority can only
+     increase (or keep) its bound. *)
+  let bound priority =
+    let base = sp_tandem 4 0.6 in
+    let flows =
+      List.map
+        (fun (f : Flow.t) ->
+          if f.id = 0 then
+            Flow.make ~id:f.id ~name:f.name ~arrival:f.arrival ~route:f.route
+              ~priority ()
+          else f)
+        (Network.flows base.network)
+    in
+    let net = Network.with_flows base.network flows in
+    Integrated_sp.flow_delay
+      (Integrated_sp.analyze ~strategy:(Pairing.Along_route 0) net)
+      0
+  in
+  check_bool "demotion monotone" true (bound 3 >= bound 1 -. 1e-9);
+  check_bool "promotion helps" true (bound 0 <= bound 1 +. 1e-9)
+
+
+let suite =
+  ( "integrated-sp",
+    [
+      test "FIFO special case equals Integrated" test_fifo_special_case;
+      test "beats SP decomposition on the tandem" test_sp_beats_decomposed;
+      test "priority ordering" test_priority_ordering;
+      test "rejects mixed/unsupported disciplines"
+        test_rejects_mixed_and_other;
+      test "blocking term is monotone" test_blocking_increases_bounds;
+      test "priority demotion monotone" test_priority_demotion_hurts;
+      test "bounds hold against non-preemptive packet simulation"
+        test_validation_against_simulator;
+      prop_sp_dominated_on_random_nets;
+    ] )

@@ -1,0 +1,187 @@
+(* Tests for flows, servers, networks, the tandem generator and the
+   random feedforward generator. *)
+
+open Testutil
+
+let flow id route =
+  Flow.make ~id ~arrival:(Arrival.token_bucket ~sigma:1. ~rho:0.1 ()) ~route ()
+
+let servers n = List.init n (fun id -> Server.make ~id ~rate:1. ())
+
+let test_flow_accessors () =
+  let f = flow 7 [ 3; 1; 4 ] in
+  Alcotest.(check int) "first hop" 3 (Flow.first_hop f);
+  Alcotest.(check int) "last hop" 4 (Flow.last_hop f);
+  Alcotest.(check (option int)) "next of 1" (Some 4) (Flow.next_hop f 1);
+  Alcotest.(check (option int)) "next of 4" None (Flow.next_hop f 4);
+  Alcotest.(check (option int)) "prev of 1" (Some 3) (Flow.prev_hop f 1);
+  Alcotest.(check (option int)) "prev of 3" None (Flow.prev_hop f 3);
+  check_bool "traverses" true (Flow.traverses f 1);
+  check_bool "does not traverse" false (Flow.traverses f 9);
+  Alcotest.(check (list (pair int int)))
+    "hop pairs"
+    [ (3, 1); (1, 4) ]
+    (Flow.hop_pairs f)
+
+let test_flow_validation () =
+  let expect_invalid f =
+    try
+      ignore (f ());
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  let arrival = Arrival.token_bucket ~sigma:1. ~rho:0.1 () in
+  expect_invalid (fun () -> Flow.make ~id:0 ~arrival ~route:[] ());
+  expect_invalid (fun () -> Flow.make ~id:0 ~arrival ~route:[ 1; 2; 1 ] ());
+  expect_invalid (fun () -> Flow.make ~id:0 ~arrival ~route:[ 1 ] ~weight:0. ());
+  expect_invalid (fun () ->
+      Flow.make ~id:0 ~arrival ~route:[ 1 ] ~deadline:(-1.) ())
+
+let test_network_basics () =
+  let net =
+    Network.make ~servers:(servers 3)
+      ~flows:[ flow 0 [ 0; 1; 2 ]; flow 1 [ 1; 2 ]; flow 2 [ 0 ] ]
+  in
+  Alcotest.(check int) "size" 3 (Network.size net);
+  Alcotest.(check int) "flows at 1" 2 (List.length (Network.flows_at net 1));
+  Alcotest.(check (list (pair int int)))
+    "edges"
+    [ (0, 1); (1, 2) ]
+    (Network.edges net);
+  Alcotest.(check (list int))
+    "topological order" [ 0; 1; 2 ]
+    (Network.topological_order net);
+  check_bool "feedforward" true (Network.is_feedforward net);
+  approx "utilization at 0" 0.2 (Network.utilization net 0);
+  check_bool "stable" true (Network.stable net)
+
+let test_network_cycle () =
+  let net =
+    Network.make ~servers:(servers 2) ~flows:[ flow 0 [ 0; 1 ]; flow 1 [ 1; 0 ] ]
+  in
+  check_bool "cyclic detected" false (Network.is_feedforward net);
+  (try
+     ignore (Network.topological_order net);
+     Alcotest.fail "expected Cyclic"
+   with Network.Cyclic -> ())
+
+let test_network_validation () =
+  (try
+     ignore (Network.make ~servers:(servers 2) ~flows:[ flow 0 [ 0; 5 ] ]);
+     Alcotest.fail "expected Invalid_argument for unknown server"
+   with Invalid_argument _ -> ());
+  let s = Server.make ~id:0 ~rate:1. () in
+  try
+    ignore (Network.make ~servers:[ s; s ] ~flows:[]);
+    Alcotest.fail "expected Invalid_argument for duplicate id"
+  with Invalid_argument _ -> ()
+
+let test_tandem_structure () =
+  let n = 5 in
+  let t = Tandem.make ~n ~utilization:0.6 () in
+  let net = t.network in
+  Alcotest.(check int) "server count" (3 * n) (Network.size net);
+  Alcotest.(check int)
+    "flow count (2n+1)"
+    ((2 * n) + 1)
+    (List.length (Network.flows net));
+  Alcotest.(check (list int))
+    "conn0 route" [ 0; 1; 2; 3; 4 ]
+    t.conn0.route;
+  (* Paper invariant: every middle port except the first carries 4
+     connections. *)
+  List.iteri
+    (fun j sid ->
+      let expected = if j = 0 then 3 else 4 in
+      Alcotest.(check int)
+        (Printf.sprintf "population of mid%d" j)
+        expected
+        (List.length (Network.flows_at net sid)))
+    t.mid_servers;
+  (* Internal links run at the requested utilization. *)
+  List.iteri
+    (fun j sid ->
+      let expected = if j = 0 then 0.45 else 0.6 in
+      approx (Printf.sprintf "utilization of mid%d" j) expected
+        (Network.utilization net sid))
+    t.mid_servers;
+  check_bool "feedforward" true (Network.is_feedforward net);
+  Alcotest.(check int) "cross flows" (2 * n) (List.length (Tandem.cross_flows t))
+
+let test_tandem_sources () =
+  let t = Tandem.make ~n:3 ~utilization:0.8 ~sigma:2. () in
+  List.iter
+    (fun (f : Flow.t) ->
+      let sigma, rho, peak = Arrival.token_params f.arrival in
+      approx "sigma" 2. sigma;
+      approx "rho = U/4" 0.2 rho;
+      approx "peak" 1. peak)
+    (Network.flows t.network)
+
+let test_tandem_validation () =
+  let expect_invalid f =
+    try
+      ignore (f ());
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid (fun () -> Tandem.make ~n:1 ~utilization:0.5 ());
+  expect_invalid (fun () -> Tandem.make ~n:4 ~utilization:1.2 ());
+  expect_invalid (fun () -> Tandem.make ~n:4 ~utilization:0.5 ~sigma:0. ())
+
+let test_randomnet () =
+  let net = Randomnet.generate Randomnet.default in
+  check_bool "feedforward" true (Network.is_feedforward net);
+  check_bool "stable" true (Network.stable net);
+  approx ~tol:1e-6 "max utilization hits target"
+    Randomnet.default.utilization (Network.max_utilization net);
+  (* Deterministic for a fixed seed. *)
+  let net2 = Randomnet.generate Randomnet.default in
+  Alcotest.(check (list (pair int int)))
+    "deterministic" (Network.edges net) (Network.edges net2)
+
+let prop_randomnet_always_feedforward =
+  qtest ~count:50 "random networks are feedforward and stable"
+    QCheck2.Gen.(
+      quad (int_range 2 5) (int_range 1 3) (int_range 1 12) (int_range 0 1000))
+    (fun (layers, per_layer, num_flows, seed) ->
+      let net =
+        Randomnet.generate
+          {
+            Randomnet.default with
+            layers;
+            per_layer;
+            num_flows;
+            seed;
+            utilization = 0.7;
+          }
+      in
+      Network.is_feedforward net && Network.stable net)
+
+let test_dot_export () =
+  let t = Tandem.make ~n:2 ~utilization:0.5 () in
+  let dot = Dot.to_dot t.network in
+  check_bool "has digraph" true
+    (String.length dot > 20 && String.sub dot 0 7 = "digraph");
+  check_bool "mentions an edge" true
+    (let rec contains i =
+       i + 9 <= String.length dot
+       && (String.sub dot i 9 = " 0 -> 1 [" || contains (i + 1))
+     in
+     contains 0)
+
+let suite =
+  ( "topology",
+    [
+      test "flow accessors" test_flow_accessors;
+      test "flow validation" test_flow_validation;
+      test "network basics" test_network_basics;
+      test "cycle detection" test_network_cycle;
+      test "network validation" test_network_validation;
+      test "tandem structure (Fig. 3)" test_tandem_structure;
+      test "tandem sources (Eq. 4)" test_tandem_sources;
+      test "tandem validation" test_tandem_validation;
+      test "random feedforward generator" test_randomnet;
+      prop_randomnet_always_feedforward;
+      test "dot export" test_dot_export;
+    ] )

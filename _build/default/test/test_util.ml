@@ -1,0 +1,97 @@
+(* Tests for the utility layer: tolerant comparisons, sweeps, tables. *)
+
+open Testutil
+
+let test_float_ops_eq () =
+  let open Float_ops in
+  check_bool "exact" true (1.0 =~ 1.0);
+  check_bool "within tolerance" true (1.0 =~ (1.0 +. 1e-12));
+  check_bool "relative tolerance on big numbers" true
+    (1e12 =~ (1e12 +. 1.0 /. 1e3));
+  check_bool "beyond tolerance" false (1.0 =~ 1.001);
+  check_bool "inf = inf" true (infinity =~ infinity);
+  check_bool "inf <> finite" false (infinity =~ 1e308);
+  check_bool "nan never equal" false (Float.nan =~ Float.nan)
+
+let test_float_ops_order () =
+  let open Float_ops in
+  check_bool "strictly less" true (1.0 <~ 2.0);
+  check_bool "not less within tolerance" false (1.0 <~ (1.0 +. 1e-12));
+  check_bool "leq on equal" true (1.0 <=~ 1.0);
+  check_bool "leq on tolerance" true ((1.0 +. 1e-12) <=~ 1.0)
+
+let test_float_ops_div () =
+  approx "normal" 2. (Float_ops.div 4. 2.);
+  approx "zero by zero" 0. (Float_ops.div 0. 0.);
+  approx "positive by zero" infinity (Float_ops.div 3. 0.);
+  approx "negative by zero" neg_infinity (Float_ops.div (-3.) 0.)
+
+let test_float_ops_misc () =
+  approx "clamp below" 1. (Float_ops.clamp ~lo:1. ~hi:5. 0.);
+  approx "clamp above" 5. (Float_ops.clamp ~lo:1. ~hi:5. 9.);
+  approx "clamp inside" 3. (Float_ops.clamp ~lo:1. ~hi:5. 3.);
+  approx "positive part" 0. (Float_ops.positive_part (-2.));
+  approx "max of empty" neg_infinity (Float_ops.max_list []);
+  approx "min of empty" infinity (Float_ops.min_list []);
+  approx "max list" 7. (Float_ops.max_list [ 3.; 7.; -1. ])
+
+let test_sweep_linspace () =
+  Alcotest.(check (list (float 1e-9)))
+    "five points"
+    [ 0.; 0.25; 0.5; 0.75; 1. ]
+    (Sweep.linspace ~lo:0. ~hi:1. ~n:5);
+  Alcotest.(check (list (float 1e-9))) "single" [ 2. ] (Sweep.linspace ~lo:2. ~hi:9. ~n:1)
+
+let test_sweep_steps () =
+  Alcotest.(check (list (float 1e-9)))
+    "inclusive of endpoint"
+    [ 0.1; 0.2; 0.3 ]
+    (Sweep.steps ~lo:0.1 ~hi:0.3 ~step:0.1);
+  Alcotest.(check int) "many steps" 9
+    (List.length (Sweep.steps ~lo:0.1 ~hi:0.9 ~step:0.1))
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t = Table.create ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "x"; "yyy" ];
+  Table.add_floats t [ 1.5; infinity ];
+  let s = Table.to_string t in
+  check_bool "has header" true (contains s "bb");
+  check_bool "renders inf" true (contains s "inf");
+  check_bool "renders float" true (contains s "1.5")
+
+let test_table_padding_and_errors () =
+  let t = Table.create ~header:[ "a"; "b"; "c" ] in
+  Table.add_row t [ "only" ];
+  check_bool "short rows padded" true
+    (String.length (Table.to_string t) > 0);
+  try
+    Table.add_row t [ "1"; "2"; "3"; "4" ];
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_table_csv () =
+  let t = Table.create ~header:[ "name"; "value" ] in
+  Table.add_row t [ "plain"; "1" ];
+  Table.add_row t [ "with,comma"; "quote\"inside" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check string) "csv escaping"
+    "name,value\nplain,1\n\"with,comma\",\"quote\"\"inside\"\n" csv
+
+let suite =
+  ( "util",
+    [
+      test "float equality" test_float_ops_eq;
+      test "float ordering" test_float_ops_order;
+      test "guarded division" test_float_ops_div;
+      test "clamp and friends" test_float_ops_misc;
+      test "linspace" test_sweep_linspace;
+      test "steps" test_sweep_steps;
+      test "table rendering" test_table_render;
+      test "table padding and errors" test_table_padding_and_errors;
+      test "table csv" test_table_csv;
+    ] )
