@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --only fig5  -- one experiment
      dune exec bench/main.exe -- --list       -- list experiment ids
      dune exec bench/main.exe -- --csv out/   -- also write CSV data files
+     dune exec bench/main.exe -- --obs        -- per-experiment obs profiles
 
    Experiment ids: fig4 fig5 fig6 burstiness validation admission
                    burst-propagation ablation-pairing ablation-theta sp
@@ -593,6 +594,26 @@ let experiments =
     ("timing", timing);
   ]
 
+(* With --obs, every experiment also emits its operation-cost profile
+   (netcalc.obs metrics + span timings), so each figure ships with the
+   min-plus workload that produced it; with --csv DIR the metrics also
+   land in DIR/obs-<id>.csv. *)
+let run_experiment ~obs (id, f) =
+  if obs then begin
+    Metrics.reset ();
+    Trace.clear ()
+  end;
+  f ();
+  if obs then begin
+    Printf.printf "\n[obs] operation profile for %s:\n\n" id;
+    Table.print (Metrics.to_table ());
+    print_newline ();
+    Table.print (Trace.summary_table ());
+    match !csv_dir with
+    | Some dir -> Table.save_csv ~dir ~name:("obs-" ^ id) (Metrics.to_table ())
+    | None -> ()
+  end
+
 let () =
   let args = Array.to_list Sys.argv in
   if List.mem "--list" args then
@@ -604,6 +625,8 @@ let () =
       | [] -> None
     in
     csv_dir := find_opt "--csv" args;
+    let obs = List.mem "--obs" args || Prof.enabled () in
+    if obs then Obs.enable ();
     let only = find_opt "--only" args in
     let selected =
       match only with
@@ -615,4 +638,4 @@ let () =
               Printf.eprintf "unknown experiment %s; try --list\n" id;
               exit 1)
     in
-    List.iter (fun (_, f) -> f ()) selected
+    List.iter (run_experiment ~obs) selected

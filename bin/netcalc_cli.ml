@@ -59,7 +59,7 @@ let methods_table net ~flow ~options =
   tbl
 
 let tandem_cmd =
-  let run n u sigma peak link_cap =
+  let run n u sigma peak link_cap () =
     let t = Tandem.make ~n ~utilization:u ~sigma ~peak () in
     Printf.printf
       "Tandem of %d switches (Fig. 3), U = %g, sigma = %g, peak = %g\n\
@@ -67,12 +67,11 @@ let tandem_cmd =
       n u sigma peak;
     Table.print (methods_table t.network ~flow:0 ~options:(options_of link_cap))
   in
-  Cmd.v
-    (Cmd.info "tandem" ~doc:"Delay bounds for Connection 0 of the tandem")
-    Term.(const run $ hops_arg $ util_arg $ sigma_arg $ peak_arg $ link_cap_arg)
+  ("tandem", "Delay bounds for Connection 0 of the tandem",
+   Term.(const run $ hops_arg $ util_arg $ sigma_arg $ peak_arg $ link_cap_arg))
 
 let sweep_cmd =
-  let run n sigma peak link_cap =
+  let run n sigma peak link_cap () =
     let options = options_of link_cap in
     let tbl =
       Table.create
@@ -91,9 +90,8 @@ let sweep_cmd =
     Printf.printf "Load sweep, tandem n = %d:\n\n" n;
     Table.print tbl
   in
-  Cmd.v
-    (Cmd.info "sweep" ~doc:"Sweep the load and compare all methods")
-    Term.(const run $ hops_arg $ sigma_arg $ peak_arg $ link_cap_arg)
+  ("sweep", "Sweep the load and compare all methods",
+   Term.(const run $ hops_arg $ sigma_arg $ peak_arg $ link_cap_arg))
 
 let simulate_cmd =
   let horizon_arg =
@@ -104,7 +102,7 @@ let simulate_cmd =
     Arg.(value & opt float 0.25 & info [ "packet-size" ] ~docv:"L"
            ~doc:"Packet size (must be at most sigma).")
   in
-  let run n u sigma horizon packet_size =
+  let run n u sigma horizon packet_size () =
     (* Packetized sources cannot meet a finite fluid peak-rate envelope;
        simulate against peak-free sources (see Validate). *)
     let t = Tandem.make ~n ~utilization:u ~sigma ~peak:infinity () in
@@ -136,9 +134,8 @@ let simulate_cmd =
     | [] -> print_endline "\nAll bounds hold."
     | v -> Printf.printf "\n*** %d VIOLATION(S) ***\n" (List.length v)
   in
-  Cmd.v
-    (Cmd.info "simulate" ~doc:"Validate bounds against a greedy simulation")
-    Term.(const run $ hops_arg $ util_arg $ sigma_arg $ horizon_arg $ packet_arg)
+  ("simulate", "Validate bounds against a greedy simulation",
+   Term.(const run $ hops_arg $ util_arg $ sigma_arg $ horizon_arg $ packet_arg))
 
 let random_cmd =
   let seed_arg =
@@ -150,7 +147,7 @@ let random_cmd =
   let layers_arg =
     Arg.(value & opt int 3 & info [ "layers" ] ~docv:"L" ~doc:"Layers.")
   in
-  let run seed flows layers u link_cap =
+  let run seed flows layers u link_cap () =
     let net =
       Randomnet.generate
         { Randomnet.default with seed; num_flows = flows; layers;
@@ -178,9 +175,8 @@ let random_cmd =
     Format.printf "%a@.@." Network.pp net;
     Table.print tbl
   in
-  Cmd.v
-    (Cmd.info "random" ~doc:"Analyze a random feedforward network")
-    Term.(const run $ seed_arg $ flows_arg $ layers_arg $ util_arg $ link_cap_arg)
+  ("random", "Analyze a random feedforward network",
+   Term.(const run $ seed_arg $ flows_arg $ layers_arg $ util_arg $ link_cap_arg))
 
 let analyze_cmd =
   let file_arg =
@@ -191,7 +187,7 @@ let analyze_cmd =
     Arg.(value & flag & info [ "report" ]
            ~doc:"Print the full per-hop report instead of the summary table.")
   in
-  let run file report link_cap =
+  let run file report link_cap () =
     let net =
       try Scenario.load file
       with Scenario.Parse_error (line, msg) ->
@@ -252,9 +248,8 @@ let analyze_cmd =
     end
     end
   in
-  Cmd.v
-    (Cmd.info "analyze" ~doc:"Analyze a network described in a scenario file")
-    Term.(const run $ file_arg $ report_arg $ link_cap_arg)
+  ("analyze", "Analyze a network described in a scenario file",
+   Term.(const run $ file_arg $ report_arg $ link_cap_arg))
 
 let ring_cmd =
   let ring_n =
@@ -264,7 +259,7 @@ let ring_cmd =
     Arg.(value & opt int 3 & info [ "ring-hops" ] ~docv:"H"
            ~doc:"Hops each flow travels around the ring.")
   in
-  let run n hops u =
+  let run n hops u () =
     let r = Ring.make ~n ~hops ~utilization:u () in
     let fp = Fixed_point.analyze r.network in
     Printf.printf
@@ -279,12 +274,11 @@ let ring_cmd =
         "The decomposition fixed point diverges (feedback instability); no \
          finite bound."
   in
-  Cmd.v
-    (Cmd.info "ring" ~doc:"Fixed-point analysis of a cyclic ring network")
-    Term.(const run $ ring_n $ ring_hops $ util_arg)
+  ("ring", "Fixed-point analysis of a cyclic ring network",
+   Term.(const run $ ring_n $ ring_hops $ util_arg))
 
 let sp_cmd =
-  let run n u =
+  let run n u () =
     let t =
       Tandem.make ~n ~utilization:u ~discipline:Discipline.Static_priority ()
     in
@@ -315,17 +309,15 @@ let sp_cmd =
       (Network.flows net);
     Table.print tbl
   in
-  Cmd.v
-    (Cmd.info "sp"
-       ~doc:"Static-priority tandem: integrated extension vs decomposition")
-    Term.(const run $ hops_arg $ util_arg)
+  ("sp", "Static-priority tandem: integrated extension vs decomposition",
+   Term.(const run $ hops_arg $ util_arg))
 
 let fluid_cmd =
   let tries_arg =
     Arg.(value & opt int 8 & info [ "tries" ] ~docv:"K"
            ~doc:"Number of phase-randomized fluid scenarios.")
   in
-  let run n u tries =
+  let run n u tries () =
     let t = Tandem.make ~n ~utilization:u ~peak:infinity () in
     let net = t.network in
     let observed = Fluid.phase_search ~tries net in
@@ -358,19 +350,87 @@ let fluid_cmd =
       "\nFluid scenarios conform to the analytic envelopes exactly, so \
        obs/D is a\ntrue lower estimate of each bound's tightness."
   in
-  Cmd.v
-    (Cmd.info "fluid"
-       ~doc:"Exact fluid tightness probe for the tandem (no packetization)")
-    Term.(const run $ hops_arg $ util_arg $ tries_arg)
+  ("fluid", "Exact fluid tightness probe for the tandem (no packetization)",
+   Term.(const run $ hops_arg $ util_arg $ tries_arg))
 
 let dot_cmd =
-  let run n u =
+  let run n u () =
     let t = Tandem.make ~n ~utilization:u () in
     print_string (Dot.to_dot t.network)
   in
+  ("dot", "Emit the tandem's routing graph as Graphviz",
+   Term.(const run $ hops_arg $ util_arg))
+
+(* Every subcommand is a (name, doc, thunk term) triple so that it can
+   be mounted twice: bare under `netcalc`, and wrapped with
+   instrumentation under `netcalc profile`. *)
+let subcommands =
+  [
+    tandem_cmd; sweep_cmd; simulate_cmd; random_cmd; analyze_cmd; ring_cmd;
+    fluid_cmd; sp_cmd; dot_cmd;
+  ]
+
+let plain_cmd (name, doc, term) =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun f -> f ()) $ term)
+
+(* `netcalc profile CMD ARGS...` runs CMD under the netcalc.obs
+   instrumentation and appends the operation-cost profile (metrics
+   table + per-span timing summary); --trace exports the span ring as
+   Chrome trace-event JSON for chrome://tracing / Perfetto. *)
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace-event JSON file of the recorded spans.")
+
+let metrics_csv_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-csv" ] ~docv:"FILE"
+         ~doc:"Also write the metrics table as CSV.")
+
+let profiled trace_out metrics_csv f =
+  Obs.enable ();
+  Metrics.reset ();
+  Trace.clear ();
+  f ();
+  print_newline ();
+  print_endline "== netcalc.obs: operation metrics ==";
+  Table.print (Metrics.to_table ());
+  print_newline ();
+  print_endline "== netcalc.obs: timing spans ==";
+  Table.print (Trace.summary_table ());
+  if Trace.dropped () > 0 then
+    Printf.printf "(%d span(s) evicted from the trace ring)\n"
+      (Trace.dropped ());
+  let write what ?(suffix = "") path save =
+    try
+      save path;
+      Printf.printf "%s written to %s%s\n" what path suffix
+    with Sys_error msg ->
+      Printf.eprintf "netcalc: cannot write %s: %s\n" what msg;
+      exit 1
+  in
+  (match metrics_csv with
+  | Some path ->
+      write "metrics CSV" path (fun p ->
+          let oc = open_out p in
+          output_string oc (Table.to_csv (Metrics.to_table ()));
+          close_out oc)
+  | None -> ());
+  match trace_out with
+  | Some path ->
+      write "trace" ~suffix:" (open in chrome://tracing)" path
+        Trace.save_chrome_json
+  | None -> ()
+
+let profiled_cmd (name, doc, term) =
   Cmd.v
-    (Cmd.info "dot" ~doc:"Emit the tandem's routing graph as Graphviz")
-    Term.(const run $ hops_arg $ util_arg)
+    (Cmd.info name ~doc:(doc ^ " (instrumented)"))
+    Term.(const profiled $ trace_arg $ metrics_csv_arg $ term)
+
+let profile_cmd =
+  Cmd.group
+    (Cmd.info "profile"
+       ~doc:"Run any analysis subcommand under netcalc.obs instrumentation \
+             and report where the time and min-plus operations go")
+    (List.map profiled_cmd subcommands)
 
 let () =
   let info =
@@ -378,10 +438,4 @@ let () =
       ~doc:"End-to-end delay analysis for feedforward FIFO networks \
             (Li/Bettati/Zhao, ICPP 1999)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            tandem_cmd; sweep_cmd; simulate_cmd; random_cmd; analyze_cmd;
-            ring_cmd; fluid_cmd; sp_cmd; dot_cmd;
-          ]))
+  exit (Cmd.eval (Cmd.group info (profile_cmd :: List.map plain_cmd subcommands)))

@@ -9,7 +9,7 @@ let method_name = function
   | Integrated_sp -> "Integrated-SP"
   | Fifo_theta -> "FIFO-theta"
 
-let flow_delay ?options ?strategy net method_ flow =
+let compute ?options ?strategy net method_ flow =
   match method_ with
   | Decomposed -> Decomposed.flow_delay (Decomposed.analyze ?options net) flow
   | Service_curve ->
@@ -19,6 +19,22 @@ let flow_delay ?options ?strategy net method_ flow =
   | Integrated_sp ->
       Integrated_sp.flow_delay (Integrated_sp.analyze ?options ?strategy net) flow
   | Fifo_theta -> Fifo_theta.flow_delay (Fifo_theta.analyze ?options net) flow
+
+let c_flow_delay = Metrics.counter "engine.flow_delay.calls"
+let d_flow_delay_ns = Metrics.dist "engine.flow_delay.ns"
+
+let flow_delay ?options ?strategy net method_ flow =
+  if not (Prof.enabled ()) then compute ?options ?strategy net method_ flow
+  else begin
+    (* One span per (method, flow) query: profiles aggregate per method
+       name, traces show the per-flow breakdown. *)
+    Metrics.incr c_flow_delay;
+    Trace.with_span ("engine." ^ method_name method_) @@ fun () ->
+    let t0 = Sys.time () in
+    let d = compute ?options ?strategy net method_ flow in
+    Metrics.observe d_flow_delay_ns ((Sys.time () -. t0) *. 1e9);
+    d
+  end
 
 type comparison = {
   flow : int;

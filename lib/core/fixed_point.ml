@@ -13,7 +13,12 @@ let iterations t = t.iterations
 let distance a b =
   Float.max (Pwl.sup_diff a b) (Pwl.sup_diff b a)
 
+let c_runs = Metrics.counter "fixed_point.runs"
+let c_iterations = Metrics.counter "fixed_point.iterations"
+
 let analyze ?(options = Options.default) ?(max_iter = 200) ?(tol = 1e-9) net =
+  Prof.count c_runs;
+  Prof.span "fixed_point.analyze" @@ fun () ->
   let flows = Network.flows net in
   let servers = Network.servers net in
   let locals = Hashtbl.create 64 in
@@ -86,6 +91,7 @@ let analyze ?(options = Options.default) ?(max_iter = 200) ?(tol = 1e-9) net =
     end
   in
   let ok, rounds = iterate 0 in
+  Prof.count_n c_iterations rounds;
   { net; locals; converged = ok; iterations = rounds }
 
 let local_delay t ~flow ~server =

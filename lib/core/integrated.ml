@@ -37,7 +37,11 @@ let poison_rest poisoned (f : Flow.t) ~from =
   in
   mark f.route
 
+let c_pairs = Metrics.counter "integrated.subnets.pairs"
+let c_singles = Metrics.counter "integrated.subnets.singles"
+
 let analyze_with_pairing ?(options = Options.default) net pairing_list =
+  Prof.span "integrated.analyze" @@ fun () ->
   require_fifo net;
   Pairing.validate net pairing_list;
   let pairing = Array.of_list pairing_list in
@@ -55,6 +59,7 @@ let analyze_with_pairing ?(options = Options.default) net pairing_list =
     (fun idx subnet ->
       match subnet with
       | Pairing.Single u ->
+          Prof.count c_singles;
           let present = Network.flows_at net u in
           if present <> [] then begin
             let bad =
@@ -73,6 +78,7 @@ let analyze_with_pairing ?(options = Options.default) net pairing_list =
             List.iter (fun f -> record idx f ~entry:u ~last:u d) present
           end
       | Pairing.Pair (u, v) ->
+          Prof.count c_pairs;
           let at_u = Network.flows_at net u and at_v = Network.flows_at net v in
           let s12, s1 =
             List.partition

@@ -50,7 +50,12 @@ let check_service name beta =
    backlog just before 0 so all of it arrived after 0 — the
    integration step Algorithm Decomposed misses.  FIFO servers are the
    special case beta_i = lambda_(C_i). *)
+let c_analyze = Metrics.counter "pair.analyze.calls"
+let d_candidates = Metrics.dist "pair.analyze.s_candidates"
+
 let analyze_general { link1; beta1; beta2; g12; g1; g2 } =
+  Prof.count c_analyze;
+  Prof.span "pair.analyze" @@ fun () ->
   if link1 <= 0. then invalid_arg "Pair_analysis: nonpositive link rate";
   check_service "beta1" beta1;
   check_service "beta2" beta2;
@@ -107,6 +112,9 @@ let analyze_general { link1; beta1; beta2; g12; g1; g2 } =
         |> List.filter (fun s -> s >= 0. && s <= busy1)
         |> List.sort_uniq compare
       in
+      if Prof.enabled () then
+        Metrics.observe d_candidates
+          (float_of_int (List.length s_candidates));
       let bound_at s =
         let tau = Pwl.eval t1 s in
         let m = Pwl.eval mf s in

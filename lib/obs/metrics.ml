@@ -1,0 +1,115 @@
+type counter = { cname : string; mutable n : int }
+
+type dist = {
+  dname : string;
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let dists : (string, dist) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { cname = name; n = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let incr c = c.n <- c.n + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotone (n < 0)";
+  c.n <- c.n + n
+
+let value c = c.n
+let counter_name c = c.cname
+
+let dist name =
+  match Hashtbl.find_opt dists name with
+  | Some d -> d
+  | None ->
+      let d =
+        { dname = name; count = 0; sum = 0.; vmin = infinity;
+          vmax = neg_infinity }
+      in
+      Hashtbl.replace dists name d;
+      d
+
+let observe d v =
+  d.count <- d.count + 1;
+  d.sum <- d.sum +. v;
+  if v < d.vmin then d.vmin <- v;
+  if v > d.vmax then d.vmax <- v
+
+type dist_stats = {
+  count : int;
+  sum : float;
+  mean : float;
+  dmin : float;
+  dmax : float;
+}
+
+let dist_stats (d : dist) =
+  {
+    count = d.count;
+    sum = d.sum;
+    mean = (if d.count = 0 then nan else d.sum /. float_of_int d.count);
+    dmin = d.vmin;
+    dmax = d.vmax;
+  }
+
+let dist_name d = d.dname
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.n <- 0) counters;
+  Hashtbl.iter
+    (fun _ (d : dist) ->
+      d.count <- 0;
+      d.sum <- 0.;
+      d.vmin <- infinity;
+      d.vmax <- neg_infinity)
+    dists
+
+type snapshot = {
+  counters : (string * int) list;
+  dists : (string * dist_stats) list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun name v acc -> (name, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot () =
+  {
+    counters = sorted_bindings counters (fun c -> c.n);
+    dists = sorted_bindings dists dist_stats;
+  }
+
+let to_table ?(all = false) () =
+  let s = snapshot () in
+  let tbl =
+    Table.create
+      ~header:[ "metric"; "kind"; "count"; "sum"; "mean"; "min"; "max" ]
+  in
+  List.iter
+    (fun (name, n) ->
+      if all || n > 0 then
+        Table.add_row tbl [ name; "counter"; string_of_int n ])
+    s.counters;
+  List.iter
+    (fun (name, (st : dist_stats)) ->
+      if all || st.count > 0 then
+        Table.add_row tbl
+          [
+            name; "dist"; string_of_int st.count; Table.float_cell st.sum;
+            Table.float_cell st.mean; Table.float_cell st.dmin;
+            Table.float_cell st.dmax;
+          ])
+    s.dists;
+  tbl
+
+let render () = Table.to_string (to_table ())

@@ -1,0 +1,9 @@
+let on =
+  ref
+    (match Sys.getenv_opt "NETCALC_OBS" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false

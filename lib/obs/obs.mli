@@ -1,0 +1,18 @@
+(** Global switch for the observability subsystem.
+
+    Everything in [netcalc.obs] is recorded only while the switch is on;
+    instrumentation sites in the analysis engines go through {!Prof},
+    which reads {!on} and does nothing (no allocation, one load and one
+    branch) when the switch is off.  The switch starts on iff the
+    [NETCALC_OBS] environment variable is set to [1], [true] or [yes]. *)
+
+val on : bool ref
+(** The switch itself, exposed so that hot paths can read it without a
+    function call.  Treat as read-only outside this library: use
+    {!enable} / {!disable}. *)
+
+val enabled : unit -> bool
+(** [enabled () = !on]. *)
+
+val enable : unit -> unit
+val disable : unit -> unit

@@ -1,0 +1,5 @@
+let enabled () = !Obs.on
+let count c = if !Obs.on then Metrics.incr c
+let count_n c n = if !Obs.on then Metrics.add c n
+let observe d v = if !Obs.on then Metrics.observe d v
+let span name f = if !Obs.on then Trace.with_span name f else f ()

@@ -1,0 +1,37 @@
+(** Instrumentation façade for hot paths.
+
+    Every function here first reads {!Obs.on}; when observability is
+    disabled (the default) each call is one load and one branch — no
+    allocation, no registry lookup, no clock read — so instrumented
+    code pays essentially nothing in production runs.
+
+    Counters and distributions are created once, at module
+    initialization of the instrumented module:
+
+    {[
+      let c_conv = Metrics.counter "pwl.conv.calls"
+      let conv f g = Prof.count c_conv; ...
+    ]}
+
+    Values that are themselves costly to compute (e.g. a breakpoint
+    count) must be guarded at the call site with {!enabled}:
+
+    {[
+      if Prof.enabled () then Metrics.observe d (float_of_int (...))
+    ]} *)
+
+val enabled : unit -> bool
+(** Same as {!Obs.enabled}. *)
+
+val count : Metrics.counter -> unit
+(** Increment when enabled. *)
+
+val count_n : Metrics.counter -> int -> unit
+(** Add when enabled ([n >= 0]). *)
+
+val observe : Metrics.dist -> float -> unit
+(** Record when enabled. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] under a {!Trace} span when enabled, plainly
+    otherwise. *)

@@ -1,0 +1,156 @@
+type event = { name : string; ts_us : float; dur_us : float; depth : int }
+
+let t0 = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. t0) *. 1e6
+
+(* Ring buffer of completed events, newest kept.  Allocated lazily on
+   the first record so that processes that never enable observability
+   (the default) do not pay for a large array at startup. *)
+let cap = ref 65536
+let ring : event option array ref = ref [||]
+let write_idx = ref 0
+let stored = ref 0
+let dropped_count = ref 0
+
+(* Open spans, innermost first. *)
+let stack : (string * float) list ref = ref []
+
+(* Exact per-name aggregates, immune to ring eviction. *)
+type agg = { calls : int; total_us : float; max_us : float }
+
+let aggs : (string, agg) Hashtbl.t = Hashtbl.create 32
+
+let clear () =
+  ring := [||];
+  write_idx := 0;
+  stored := 0;
+  dropped_count := 0;
+  stack := [];
+  Hashtbl.reset aggs
+
+let capacity () = !cap
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  cap := n;
+  clear ()
+
+let record ev =
+  if Array.length !ring <> !cap then ring := Array.make !cap None;
+  let r = !ring in
+  if r.(!write_idx) <> None then Stdlib.incr dropped_count
+  else Stdlib.incr stored;
+  r.(!write_idx) <- Some ev;
+  write_idx := (!write_idx + 1) mod !cap;
+  let prev =
+    match Hashtbl.find_opt aggs ev.name with
+    | Some a -> a
+    | None -> { calls = 0; total_us = 0.; max_us = 0. }
+  in
+  Hashtbl.replace aggs ev.name
+    {
+      calls = prev.calls + 1;
+      total_us = prev.total_us +. ev.dur_us;
+      max_us = Float.max prev.max_us ev.dur_us;
+    }
+
+let begin_span name = stack := (name, now_us ()) :: !stack
+
+let end_span () =
+  match !stack with
+  | [] -> invalid_arg "Trace.end_span: no open span"
+  | (name, start) :: rest ->
+      stack := rest;
+      record
+        {
+          name;
+          ts_us = start;
+          dur_us = now_us () -. start;
+          depth = List.length rest;
+        }
+
+let with_span name f =
+  begin_span name;
+  match f () with
+  | v ->
+      end_span ();
+      v
+  | exception e ->
+      end_span ();
+      raise e
+
+let depth () = List.length !stack
+
+let events () =
+  (* Completion order: from the oldest live slot to the newest.  When
+     the ring has wrapped, the oldest slot is the one about to be
+     overwritten, i.e. [write_idx]. *)
+  let r = !ring in
+  let start = if !stored < !cap then 0 else !write_idx in
+  let out = ref [] in
+  for i = 0 to !stored - 1 do
+    match r.((start + i) mod !cap) with
+    | Some ev -> out := ev :: !out
+    | None -> ()
+  done;
+  List.rev !out
+
+let dropped () = !dropped_count
+
+let aggregates () =
+  Hashtbl.fold (fun name a acc -> (name, a) :: acc) aggs []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let summary_table () =
+  let tbl =
+    Table.create ~header:[ "span"; "calls"; "total ms"; "mean ms"; "max ms" ]
+  in
+  List.iter
+    (fun (name, a) ->
+      let ms us = us /. 1e3 in
+      Table.add_row tbl
+        [
+          name; string_of_int a.calls; Table.float_cell (ms a.total_us);
+          Table.float_cell (ms (a.total_us /. float_of_int a.calls));
+          Table.float_cell (ms a.max_us);
+        ])
+    (aggregates ());
+  tbl
+
+(* Chrome trace-event JSON.  Only strings we emit are span names, but
+   escape fully so arbitrary labels cannot corrupt the file. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"netcalc\",\"ph\":\"X\",\"ts\":%.3f,\
+            \"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":{\"depth\":%d}}"
+           (json_escape ev.name) ev.ts_us ev.dur_us ev.depth))
+    (events ());
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let save_chrome_json path =
+  let oc = open_out path in
+  output_string oc (to_chrome_json ());
+  close_out oc

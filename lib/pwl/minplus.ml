@@ -1,3 +1,17 @@
+(* Operation-cost metrics (see DESIGN.md "Observability"): min-plus
+   operations dominate analysis runtime, so each entry point counts its
+   calls and records the breakpoint complexity of its result.  All
+   recording is branch-guarded by Obs and free when disabled. *)
+let c_conv = Metrics.counter "pwl.conv.calls"
+let c_conv_rate = Metrics.counter "pwl.conv_with_rate.calls"
+let c_deconv = Metrics.counter "pwl.deconv.calls"
+let d_conv_bps = Metrics.dist "pwl.conv.breakpoints"
+let d_deconv_bps = Metrics.dist "pwl.deconv.breakpoints"
+
+let observed_bps d r =
+  if Prof.enabled () then
+    Metrics.observe d (float_of_int (List.length (Pwl.breakpoints r)));
+  r
 
 (* Convex (x) convex: sort the slope pieces of both operands by
    increasing slope and concatenate, starting from the sum of the
@@ -26,20 +40,25 @@ let conv_convex f g =
   Pwl.make (build 0. y0 finite_pieces)
 
 let conv f g =
+  Prof.count c_conv;
   let fail () =
     invalid_arg "Minplus.conv: unsupported shape combination (need concave \
                  x concave or convex x convex)"
   in
-  match (Pwl.shape f, Pwl.shape g) with
-  | (`Concave | `Affine), (`Concave | `Affine) -> Pwl.min_pw f g
-  | (`Convex | `Affine), (`Convex | `Affine) -> conv_convex f g
-  | _ -> fail ()
+  let r =
+    match (Pwl.shape f, Pwl.shape g) with
+    | (`Concave | `Affine), (`Concave | `Affine) -> Pwl.min_pw f g
+    | (`Convex | `Affine), (`Convex | `Affine) -> conv_convex f g
+    | _ -> fail ()
+  in
+  observed_bps d_conv_bps r
 
 let conv_list = function
   | [] -> invalid_arg "Minplus.conv_list: empty list"
   | f :: rest -> List.fold_left conv f rest
 
 let conv_with_rate ~rate g =
+  Prof.count c_conv_rate;
   if rate <= 0. then invalid_arg "Minplus.conv_with_rate: rate <= 0";
   if not (Pwl.is_nondecreasing g) then
     invalid_arg "Minplus.conv_with_rate: input must be nondecreasing";
@@ -72,6 +91,7 @@ let final_slope_exceeds f g =
   Pwl.final_slope g <~ Pwl.final_slope f
 
 let deconv f g =
+  Prof.count c_deconv;
   if final_slope_exceeds f g then
     invalid_arg "Minplus.deconv: infinite (f grows faster than g)"
   else begin
@@ -100,7 +120,8 @@ let deconv f g =
         bps_f
       @ bps_f
     in
-    Pwl.of_sampler ~candidates:t_candidates ~eval:value_at
+    observed_bps d_deconv_bps
+      (Pwl.of_sampler ~candidates:t_candidates ~eval:value_at)
   end
 
 let busy_period ~agg ~rate = Pwl.first_crossing_below agg ~rate

@@ -28,8 +28,17 @@ let normalize segs =
   in
   Array.of_list (List.rev (List.fold_left join [] segs))
 
+(* Every pwl value goes through [make], so a counter here measures the
+   total construction volume of an analysis and the breakpoint
+   distribution measures how large intermediate functions get
+   ([pwl.breakpoints]'s max is the peak complexity).  Recording is
+   branch-guarded by Obs: disabled runs pay one load and branch. *)
+let c_make = Metrics.counter "pwl.make.calls"
+let d_breakpoints = Metrics.dist "pwl.breakpoints"
+
 let make triples =
   if triples = [] then invalid_arg "Pwl.make: empty segment list";
+  Prof.count c_make;
   let segs = List.map (fun (x, y, slope) -> { x; y; slope }) triples in
   List.iter
     (fun s ->
@@ -47,7 +56,10 @@ let make triples =
     | _ -> ()
   in
   check_increasing segs;
-  { segs = normalize segs }
+  let segs = normalize segs in
+  if Prof.enabled () then
+    Metrics.observe d_breakpoints (float_of_int (Array.length segs));
+  { segs }
 
 let zero = make [ (0., 0., 0.) ]
 let constant c = make [ (0., c, 0.) ]

@@ -138,7 +138,15 @@ let dequeue state =
           Some p
       | None -> None)
 
+let c_events = Metrics.counter "sim.events"
+let c_arrivals = Metrics.counter "sim.events.arrive"
+let c_finishes = Metrics.counter "sim.events.finish"
+let c_runs = Metrics.counter "sim.runs"
+let d_heap_depth = Metrics.dist "sim.heap.depth"
+
 let run ?(config = default_config) net =
+  Prof.count c_runs;
+  Prof.span "sim.run" @@ fun () ->
   let heap : event Event_heap.t = Event_heap.create () in
   let states = Hashtbl.create 16 in
   List.iter
@@ -194,9 +202,13 @@ let run ?(config = default_config) net =
     | None -> ()
   in
   let rec drain () =
+    if Prof.enabled () then
+      Metrics.observe d_heap_depth (float_of_int (Event_heap.size heap));
     match Event_heap.pop heap with
     | None -> ()
     | Some (time, Arrive (p, sid)) ->
+        Prof.count c_events;
+        Prof.count c_arrivals;
         let state = Hashtbl.find states sid in
         let capacity =
           match List.assoc_opt sid config.buffers with
@@ -214,6 +226,8 @@ let run ?(config = default_config) net =
           drain ()
         end
     | Some (time, Finish sid) ->
+        Prof.count c_events;
+        Prof.count c_finishes;
         let state = Hashtbl.find states sid in
         (match state.in_service with
         | None -> assert false

@@ -39,9 +39,13 @@ let to_string t =
 
 let print t = print_endline (to_string t)
 
+(* RFC 4180: a cell containing a comma, a double quote, or a line break
+   (LF or CR) is wrapped in double quotes, with embedded quotes
+   doubled.  Method names and scenario labels flow into CSV output
+   unmodified, so this must hold for arbitrary strings. *)
 let csv_cell cell =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
-    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') cell
+  then "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
   else cell
 
 let to_csv t =

@@ -23,8 +23,10 @@ val print : t -> unit
 (** [print t] writes [to_string t] to stdout followed by a newline. *)
 
 val to_csv : t -> string
-(** Comma-separated rendering (header first; cells containing commas or
-    quotes are quoted). *)
+(** Comma-separated rendering, header first.  Cells containing commas,
+    double quotes or line breaks (LF or CR) are quoted RFC-4180 style,
+    with embedded quotes doubled, so arbitrary method names and
+    scenario labels round-trip through CSV readers. *)
 
 val save_csv : dir:string -> name:string -> t -> unit
 (** Write [to_csv] to [dir/name.csv], creating [dir] if needed. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "netcalc"
     [
       Test_util.suite;
+      Test_obs.suite;
       Test_pwl.suite;
       Test_pwl_deep.suite;
       Test_pwl_differential.suite;
@@ -20,4 +21,5 @@ let () =
       Test_edge_cases.suite;
       Test_heterogeneous.suite;
       Test_edf_allocation.suite;
+      Test_determinism.suite;
     ]

@@ -1,0 +1,59 @@
+(* Determinism: the random-network generator and the analysis engines
+   must be pure functions of the seed — same params, same network, same
+   bounds, bit for bit.  Regressions here (e.g. an accidental global
+   RNG or hashtable-order dependence) would silently break experiment
+   reproducibility. *)
+
+open Testutil
+
+let params = { Randomnet.default with seed = 20260806; num_flows = 10 }
+
+let network_fingerprint net =
+  let flows =
+    Network.flows net
+    |> List.map (fun (f : Flow.t) ->
+           Format.asprintf "%s|%s|%a" f.name
+             (String.concat "-" (List.map string_of_int f.route))
+             Pwl.pp (Flow.source_curve f))
+  in
+  let servers =
+    Network.servers net
+    |> List.map (fun (s : Server.t) ->
+           Printf.sprintf "%s|%d|%.17g" s.name s.id s.rate)
+  in
+  String.concat "\n" (servers @ flows)
+
+let test_same_network () =
+  let n1 = Randomnet.generate params and n2 = Randomnet.generate params in
+  Alcotest.(check string) "identical networks"
+    (network_fingerprint n1) (network_fingerprint n2)
+
+let test_same_results () =
+  let run () =
+    let net = Randomnet.generate params in
+    Network.flows net
+    |> List.map (fun (f : Flow.t) ->
+           Engine.compare_all ~strategy:Pairing.Greedy net f.id)
+  in
+  let r1 = run () and r2 = run () in
+  List.iter2
+    (fun (a : Engine.comparison) (b : Engine.comparison) ->
+      Alcotest.(check int) "same flow" a.flow b.flow;
+      let exact name x y =
+        (* Bitwise equality: determinism, not numeric tolerance.  NaN
+           (FIFO-theta disabled cases) compares equal to itself here. *)
+        if not (x = y || (Float.is_nan x && Float.is_nan y)) then
+          Alcotest.failf "flow %d %s: %.17g <> %.17g" a.flow name x y
+      in
+      exact "decomposed" a.decomposed b.decomposed;
+      exact "service_curve" a.service_curve b.service_curve;
+      exact "integrated" a.integrated b.integrated;
+      exact "fifo_theta" a.fifo_theta b.fifo_theta)
+    r1 r2
+
+let suite =
+  ( "determinism",
+    [
+      test "same seed, same network" test_same_network;
+      test "same seed, same compare_all results" test_same_results;
+    ] )

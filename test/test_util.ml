@@ -82,6 +82,19 @@ let test_table_csv () =
   Alcotest.(check string) "csv escaping"
     "name,value\nplain,1\n\"with,comma\",\"quote\"\"inside\"\n" csv
 
+(* RFC 4180: embedded line breaks (LF or CR) force quoting too, and
+   quotes inside quoted cells are doubled — a scenario label with any
+   of these must not corrupt the row/column structure. *)
+let test_table_csv_line_breaks () =
+  let t = Table.create ~header:[ "label"; "value" ] in
+  Table.add_row t [ "line\nbreak"; "2" ];
+  Table.add_row t [ "carriage\rreturn"; "3" ];
+  Table.add_row t [ "both\"and,more\n"; "4" ];
+  Alcotest.(check string) "newline and cr quoting"
+    ("label,value\n\"line\nbreak\",2\n\"carriage\rreturn\",3\n"
+   ^ "\"both\"\"and,more\n\",4\n")
+    (Table.to_csv t)
+
 let suite =
   ( "util",
     [
@@ -94,4 +107,5 @@ let suite =
       test "table rendering" test_table_render;
       test "table padding and errors" test_table_padding_and_errors;
       test "table csv" test_table_csv;
+      test "table csv line breaks" test_table_csv_line_breaks;
     ] )
