@@ -8,10 +8,17 @@
      dune exec bench/main.exe -- --list       -- list experiment ids
      dune exec bench/main.exe -- --csv out/   -- also write CSV data files
      dune exec bench/main.exe -- --obs        -- per-experiment obs profiles
+     dune exec bench/main.exe -- --jobs 4     -- netcalc.par pool size
+     dune exec bench/main.exe -- --json out.json -- perf-trajectory JSON
 
    Experiment ids: fig4 fig5 fig6 burstiness validation admission
                    burst-propagation ablation-pairing ablation-theta sp
-                   tightness feedback edf-allocation timing
+                   tightness feedback edf-allocation randomnet timing
+
+   Independent sweep cells (the (U, n) grids, the per-seed randomnet
+   batch, ...) are computed on the netcalc.par pool; all printing stays
+   sequential in the original order, so tables are byte-identical at
+   any --jobs value.
 
    Absolute numbers are not expected to match the paper (its closed
    forms come from an unavailable technical report and its y-axes are
@@ -41,11 +48,31 @@ let output ~name tbl =
   | Some dir -> Table.save_csv ~dir ~name tbl
   | None -> ()
 
+(* Split [xs] into consecutive chunks of [k]. *)
+let rec chunks k xs =
+  if xs = [] then []
+  else
+    let rec take n = function
+      | x :: rest when n > 0 ->
+          let hd, tl = take (n - 1) rest in
+          (x :: hd, tl)
+      | rest -> ([], rest)
+    in
+    let hd, tl = take k xs in
+    hd :: chunks k tl
+
 (* Shared layout for the three figures: a delay table with two series
-   per hop count, then a relative-improvement table. *)
+   per hop count, then a relative-improvement table.  The (U, n) grid
+   cells are independent analyses — the parallel workload the paper's
+   sweeps are made of — so they fan out on the pool; [Par.map]'s
+   order guarantee lets the regrouped rows print as if sequential. *)
 let figure ~name ~hops ~left ~right ~left_name ~right_name ~note () =
+  let cells =
+    List.concat_map (fun u -> List.map (fun n -> (u, n)) hops) loads
+  in
+  let results = Par.map (fun (u, n) -> delays n u) cells in
   let cache =
-    List.map (fun u -> (u, List.map (fun n -> delays n u) hops)) loads
+    List.combine loads (chunks (List.length hops) results)
   in
   print_endline "\nEnd-to-end delay bounds:";
   let tbl =
@@ -131,14 +158,14 @@ let burstiness () =
   let tbl =
     Table.create ~header:[ "sigma"; "D_D"; "D_I"; "R(D,I)"; "D_SC"; "R(SC,I)" ]
   in
-  List.iter
-    (fun sigma ->
-      let t = tandem ~sigma 4 0.6 in
-      let c =
-        Engine.compare_all ~with_theta:false
-          ~strategy:(Pairing.Along_route 0) t.network 0
-      in
-      Table.add_floats tbl
+  let rows =
+    Par.map
+      (fun sigma ->
+        let t = tandem ~sigma 4 0.6 in
+        let c =
+          Engine.compare_all ~with_theta:false
+            ~strategy:(Pairing.Along_route 0) t.network 0
+        in
         [
           sigma;
           c.decomposed;
@@ -147,7 +174,9 @@ let burstiness () =
           c.service_curve;
           Engine.relative_improvement c.service_curve c.integrated;
         ])
-    [ 1.; 2.; 4.; 8. ];
+      [ 1.; 2.; 4.; 8. ]
+  in
+  List.iter (Table.add_floats tbl) rows;
   output ~name:"burstiness" tbl;
   print_endline
     "\nExpected shape: absolute delays scale with sigma while both \
@@ -161,30 +190,38 @@ let burstiness () =
 
 let validation () =
   section "Validation — analytic bounds vs greedy packet simulation";
+  (* Compute both configurations (analysis + simulation) in parallel,
+     print in order afterwards. *)
+  let computed =
+    Par.map
+      (fun (n, u) ->
+        let t = Tandem.make ~n ~utilization:u ~peak:infinity () in
+        let net = t.network in
+        let config =
+          { Sim.default_config with packet_size = 0.2; horizon = 400. }
+        in
+        let bounds =
+          [
+            ("D_D", Decomposed.all_flow_delays (Decomposed.analyze net));
+            ( "D_SC",
+              Service_curve_method.all_flow_delays
+                (Service_curve_method.analyze net) );
+            ( "D_I",
+              Integrated.all_flow_delays
+                (Integrated.analyze ~strategy:(Pairing.Along_route 0) net) );
+          ]
+        in
+        let reports =
+          List.map
+            (fun (name, b) -> (name, Validate.check ~config ~bounds:b net))
+            bounds
+        in
+        (n, u, Network.flows net, reports))
+      [ (2, 0.6); (4, 0.9) ]
+  in
   List.iter
-    (fun (n, u) ->
+    (fun (n, u, flows, reports) ->
       Printf.printf "\nTandem n = %d, U = %g (peak-free sources):\n" n u;
-      let t = Tandem.make ~n ~utilization:u ~peak:infinity () in
-      let net = t.network in
-      let config =
-        { Sim.default_config with packet_size = 0.2; horizon = 400. }
-      in
-      let bounds =
-        [
-          ("D_D", Decomposed.all_flow_delays (Decomposed.analyze net));
-          ( "D_SC",
-            Service_curve_method.all_flow_delays
-              (Service_curve_method.analyze net) );
-          ( "D_I",
-            Integrated.all_flow_delays
-              (Integrated.analyze ~strategy:(Pairing.Along_route 0) net) );
-        ]
-      in
-      let reports =
-        List.map
-          (fun (name, b) -> (name, Validate.check ~config ~bounds:b net))
-          bounds
-      in
       let tbl =
         Table.create ~header:[ "flow"; "observed"; "D_D"; "D_SC"; "D_I"; "ok" ]
       in
@@ -201,9 +238,9 @@ let validation () =
                 (fun (r : Validate.report) -> Table.float_cell r.bound)
                 row
             @ [ (if ok then "yes" else "VIOLATION") ]))
-        (Network.flows net);
+        flows;
       output ~name:(Printf.sprintf "validation-n%d" n) tbl)
-    [ (2, 0.6); (4, 0.9) ];
+    computed;
   print_endline
     "\nEvery bound must dominate the observed maximum (column ok = yes)."
 
@@ -291,10 +328,10 @@ let ablation_theta () =
     Table.create
       ~header:[ "n"; "U"; "D_SC (theta=0)"; "D_theta"; "D_I"; "D_D" ]
   in
-  List.iter
-    (fun (n, u) ->
-      let c = delays ~with_theta:true n u in
-      Table.add_floats tbl
+  let rows =
+    Par.map
+      (fun (n, u) ->
+        let c = delays ~with_theta:true n u in
         [
           float_of_int n;
           u;
@@ -303,7 +340,9 @@ let ablation_theta () =
           c.integrated;
           c.decomposed;
         ])
-    [ (4, 0.3); (4, 0.6); (4, 0.9); (8, 0.3); (8, 0.6); (8, 0.9) ];
+      [ (4, 0.3); (4, 0.6); (4, 0.9); (8, 0.3); (8, 0.6); (8, 0.9) ]
+  in
+  List.iter (Table.add_floats tbl) rows;
   output ~name:"ablation-theta" tbl;
   print_endline
     "\nExpected shape: tuning theta always improves on the theta = 0 \
@@ -371,18 +410,18 @@ let sp_extension () =
           "n"; "U"; "conn0 D_D"; "conn0 D_Isp"; "R"; "B1 D_D"; "B1 D_Isp";
         ]
   in
-  List.iter
-    (fun (n, u) ->
-      let t =
-        Tandem.make ~n ~utilization:u
-          ~discipline:Discipline.Static_priority ()
-      in
-      let dd = Decomposed.analyze t.network in
-      let sp =
-        Integrated_sp.analyze ~strategy:(Pairing.Along_route 0) t.network
-      in
-      let b1 = 4 (* flow id of B1 *) in
-      Table.add_floats tbl
+  let rows =
+    Par.map
+      (fun (n, u) ->
+        let t =
+          Tandem.make ~n ~utilization:u
+            ~discipline:Discipline.Static_priority ()
+        in
+        let dd = Decomposed.analyze t.network in
+        let sp =
+          Integrated_sp.analyze ~strategy:(Pairing.Along_route 0) t.network
+        in
+        let b1 = 4 (* flow id of B1 *) in
         [
           float_of_int n;
           u;
@@ -394,7 +433,9 @@ let sp_extension () =
           Decomposed.flow_delay dd b1;
           Integrated_sp.flow_delay sp b1;
         ])
-    [ (2, 0.3); (2, 0.7); (4, 0.5); (4, 0.8); (8, 0.6); (8, 0.9) ];
+      [ (2, 0.3); (2, 0.7); (4, 0.5); (4, 0.8); (8, 0.6); (8, 0.9) ]
+  in
+  List.iter (Table.add_floats tbl) rows;
   output ~name:"sp" tbl;
   print_endline
     "\nExpected shape: the pairwise integration carries over to priority \
@@ -466,18 +507,20 @@ let feedback () =
   let tbl =
     Table.create ~header:[ "U"; "converged"; "iterations"; "per-flow bound" ]
   in
-  List.iter
-    (fun u ->
-      let r = Ring.make ~n ~hops ~utilization:u () in
-      let fp = Fixed_point.analyze ~max_iter:400 r.network in
-      Table.add_row tbl
+  let rows =
+    Par.map
+      (fun u ->
+        let r = Ring.make ~n ~hops ~utilization:u () in
+        let fp = Fixed_point.analyze ~max_iter:400 r.network in
         [
           Table.float_cell u;
           string_of_bool (Fixed_point.converged fp);
           string_of_int (Fixed_point.iterations fp);
           Table.float_cell (Fixed_point.flow_delay fp 0);
         ])
-    [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.65; 0.7; 0.8; 0.9 ];
+      [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.65; 0.7; 0.8; 0.9 ]
+  in
+  List.iter (Table.add_row tbl) rows;
   output ~name:"feedback" tbl;
   print_endline
     "\nExpected shape: finite bounds matching the symmetric closed form\n\
@@ -497,24 +540,74 @@ let tightness () =
       ~header:
         [ "n"; "U"; "fluid obs"; "D_I"; "obs/D_I"; "D_D"; "obs/D_D" ]
   in
-  List.iter
-    (fun (n, u) ->
-      let t = Tandem.make ~n ~utilization:u ~peak:infinity () in
-      let net = t.network in
-      let obs = List.assoc 0 (Fluid.phase_search ~tries:10 net) in
-      let di =
-        Integrated.flow_delay
-          (Integrated.analyze ~strategy:(Pairing.Along_route 0) net)
-          0
-      in
-      let dd = Decomposed.flow_delay (Decomposed.analyze net) 0 in
-      Table.add_floats tbl
+  let rows =
+    Par.map
+      (fun (n, u) ->
+        let t = Tandem.make ~n ~utilization:u ~peak:infinity () in
+        let net = t.network in
+        let obs = List.assoc 0 (Fluid.phase_search ~tries:10 net) in
+        let di =
+          Integrated.flow_delay
+            (Integrated.analyze ~strategy:(Pairing.Along_route 0) net)
+            0
+        in
+        let dd = Decomposed.flow_delay (Decomposed.analyze net) 0 in
         [ float_of_int n; u; obs; di; obs /. di; dd; obs /. dd ])
-    [ (2, 0.4); (2, 0.8); (4, 0.4); (4, 0.8); (8, 0.8) ];
+      [ (2, 0.4); (2, 0.8); (4, 0.4); (4, 0.8); (8, 0.8) ]
+  in
+  List.iter (Table.add_floats tbl) rows;
   Table.print tbl;
   (match !csv_dir with Some dir -> Table.save_csv ~dir ~name:"tightness" tbl | None -> ());
   print_endline
     "\nThe fluid executor replays exactly-conforming scenarios (no packetization\nslack), so obs/D is a true lower estimate of each bound's tightness.  The\nintegrated bound is markedly closer to what conforming traffic achieves; on\na 2-server pair with no cross traffic it is attained exactly (tested)."
+
+(* ------------------------------------------------------------------ *)
+(* Random-network batch (stress + the pool's bulk workload)            *)
+(* ------------------------------------------------------------------ *)
+
+let randomnet () =
+  section
+    "Random feedforward networks — per-seed batch (methods on layered DAGs)";
+  let params seed =
+    {
+      Randomnet.default with
+      layers = 4;
+      per_layer = 2;
+      num_flows = 12;
+      utilization = 0.7;
+      seed;
+    }
+  in
+  let seeds = List.init 16 (fun i -> 1 + i) in
+  let tbl =
+    Table.create ~header:[ "seed"; "D_D"; "D_SC"; "D_I"; "R(D,I)" ]
+  in
+  (* One independent generated network per seed — the embarrassingly
+     parallel batch shape (parameter studies, capacity planning) the
+     pool exists for.  Generation is seeded, so any jobs count produces
+     the same networks and the same rows. *)
+  let rows =
+    Par.map
+      (fun seed ->
+        let net = Randomnet.generate (params seed) in
+        let c =
+          Engine.compare_all ~with_theta:false
+            ~strategy:(Pairing.Along_route 0) net 0
+        in
+        [
+          float_of_int seed;
+          c.decomposed;
+          c.service_curve;
+          c.integrated;
+          Engine.relative_improvement c.decomposed c.integrated;
+        ])
+      seeds
+  in
+  List.iter (Table.add_floats tbl) rows;
+  output ~name:"randomnet" tbl;
+  print_endline
+    "\nExpected shape: Integrated <= Decomposed on every seed (the pairwise\n\
+     integration never loses), with the margin varying by topology draw."
 
 (* ------------------------------------------------------------------ *)
 (* Timing (Bechamel)                                                   *)
@@ -591,19 +684,37 @@ let experiments =
     ("tightness", tightness);
     ("feedback", feedback);
     ("edf-allocation", edf_allocation);
+    ("randomnet", randomnet);
     ("timing", timing);
   ]
+
+(* Perf-trajectory record for --json: one entry per experiment, with
+   wall time and the nonzero netcalc.obs counters (min-plus op counts,
+   cache hits/misses) of that experiment alone. *)
+type perf_record = { id : string; wall_s : float; counters : (string * int) list }
+
+let json_out : string option ref = ref None
+let perf_records : perf_record list ref = ref []
 
 (* With --obs, every experiment also emits its operation-cost profile
    (netcalc.obs metrics + span timings), so each figure ships with the
    min-plus workload that produced it; with --csv DIR the metrics also
-   land in DIR/obs-<id>.csv. *)
+   land in DIR/obs-<id>.csv.  With --json, metrics are likewise reset
+   per experiment so the JSON counters are per-experiment deltas. *)
 let run_experiment ~obs (id, f) =
-  if obs then begin
+  let collect = obs || !json_out <> None in
+  if collect then begin
     Metrics.reset ();
     Trace.clear ()
   end;
+  let t0 = Trace.now_s () in
   f ();
+  let wall_s = Trace.now_s () -. t0 in
+  if !json_out <> None then begin
+    let snap = Metrics.snapshot () in
+    let counters = List.filter (fun (_, n) -> n > 0) snap.Metrics.counters in
+    perf_records := { id; wall_s; counters } :: !perf_records
+  end;
   if obs then begin
     Printf.printf "\n[obs] operation profile for %s:\n\n" id;
     Table.print (Metrics.to_table ());
@@ -613,6 +724,46 @@ let run_experiment ~obs (id, f) =
     | Some dir -> Table.save_csv ~dir ~name:("obs-" ^ id) (Metrics.to_table ())
     | None -> ()
   end
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_perf_json path ~total_wall_s =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"netcalc-bench/1\",\"backend\":\"%s\",\"jobs\":%d,\
+        \"total_wall_s\":%.6f,\"experiments\":["
+       (json_escape Par.backend) (Par.jobs ()) total_wall_s);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"id\":\"%s\",\"wall_s\":%.6f,\"counters\":{"
+           (json_escape r.id) r.wall_s);
+      List.iteri
+        (fun j (name, n) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\":%d" (json_escape name) n))
+        r.counters;
+      Buffer.add_string b "}}")
+    (List.rev !perf_records);
+  Buffer.add_string b "]}";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  output_char oc '\n';
+  close_out oc
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -625,8 +776,17 @@ let () =
       | [] -> None
     in
     csv_dir := find_opt "--csv" args;
+    json_out := find_opt "--json" args;
+    (match find_opt "--jobs" args with
+    | Some n -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> Par.set_jobs n
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+            exit 1)
+    | None -> ());
     let obs = List.mem "--obs" args || Prof.enabled () in
-    if obs then Obs.enable ();
+    if obs || !json_out <> None then Obs.enable ();
     let only = find_opt "--only" args in
     let selected =
       match only with
@@ -638,4 +798,10 @@ let () =
               Printf.eprintf "unknown experiment %s; try --list\n" id;
               exit 1)
     in
-    List.iter (run_experiment ~obs) selected
+    let t0 = Trace.now_s () in
+    List.iter (run_experiment ~obs) selected;
+    match !json_out with
+    | Some path ->
+        write_perf_json path ~total_wall_s:(Trace.now_s () -. t0);
+        Printf.eprintf "[json] wrote %s\n" path
+    | None -> ()

@@ -370,8 +370,28 @@ let subcommands =
     fluid_cmd; sp_cmd; dot_cmd;
   ]
 
+(* Worker-count option, shared by every subcommand (plain and
+   profiled): the analyses fan out on netcalc.par, whose pool size is
+   resolved as --jobs > NETCALC_JOBS > hardware count.  Results do not
+   depend on the value. *)
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the parallel analysis pool \
+               (netcalc.par).  Defaults to $(b,NETCALC_JOBS) or the \
+               hardware-recommended count; results are identical for \
+               any value.")
+
+let with_jobs jobs f =
+  (match jobs with
+  | Some n when n >= 1 -> Par.set_jobs n
+  | Some n ->
+      Printf.eprintf "netcalc: --jobs expects a positive integer, got %d\n" n;
+      exit 1
+  | None -> ());
+  f ()
+
 let plain_cmd (name, doc, term) =
-  Cmd.v (Cmd.info name ~doc) Term.(const (fun f -> f ()) $ term)
+  Cmd.v (Cmd.info name ~doc) Term.(const with_jobs $ jobs_arg $ term)
 
 (* `netcalc profile CMD ARGS...` runs CMD under the netcalc.obs
    instrumentation and appends the operation-cost profile (metrics
@@ -423,7 +443,9 @@ let profiled trace_out metrics_csv f =
 let profiled_cmd (name, doc, term) =
   Cmd.v
     (Cmd.info name ~doc:(doc ^ " (instrumented)"))
-    Term.(const profiled $ trace_arg $ metrics_csv_arg $ term)
+    Term.(
+      const (fun jobs trace csv f -> with_jobs jobs (fun () -> profiled trace csv f))
+      $ jobs_arg $ trace_arg $ metrics_csv_arg $ term)
 
 let profile_cmd =
   Cmd.group

@@ -30,9 +30,12 @@ let flow_delay ?options ?strategy net method_ flow =
        name, traces show the per-flow breakdown. *)
     Metrics.incr c_flow_delay;
     Trace.with_span ("engine." ^ method_name method_) @@ fun () ->
-    let t0 = Sys.time () in
+    (* Wall clock (same clock as the trace spans), not [Sys.time]: CPU
+       seconds aggregate over every netcalc.par domain, so they
+       over-report per-query latency by up to [jobs]x. *)
+    let t0 = Trace.now_us () in
     let d = compute ?options ?strategy net method_ flow in
-    Metrics.observe d_flow_delay_ns ((Sys.time () -. t0) *. 1e9);
+    Metrics.observe d_flow_delay_ns ((Trace.now_us () -. t0) *. 1e3);
     d
   end
 
@@ -45,14 +48,26 @@ type comparison = {
 }
 
 let compare_all ?options ?strategy ?(with_theta = true) net flow =
-  {
-    flow;
-    decomposed = flow_delay ?options net Decomposed flow;
-    service_curve = flow_delay ?options net Service_curve flow;
-    integrated = flow_delay ?options ?strategy net Integrated flow;
-    fifo_theta =
-      (if with_theta then flow_delay ?options net Fifo_theta flow else nan);
-  }
+  (* The four methods are independent whole-network analyses, so run
+     them on the netcalc.par pool.  [Par.map] returns results in list
+     order whatever the schedule, so the comparison record (and every
+     table built from it) is identical at any jobs count. *)
+  let run = function
+    | Some Fifo_theta -> flow_delay ?options net Fifo_theta flow
+    | Some Integrated -> flow_delay ?options ?strategy net Integrated flow
+    | Some m -> flow_delay ?options net m flow
+    | None -> nan
+  in
+  match
+    Par.map run
+      [
+        Some Decomposed; Some Service_curve; Some Integrated;
+        (if with_theta then Some Fifo_theta else None);
+      ]
+  with
+  | [ decomposed; service_curve; integrated; fifo_theta ] ->
+      { flow; decomposed; service_curve; integrated; fifo_theta }
+  | _ -> assert false
 
 let relative_improvement dx dy =
   if not (Float.is_finite dx) || not (Float.is_finite dy) || dx = 0. then nan

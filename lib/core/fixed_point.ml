@@ -41,9 +41,14 @@ let analyze ?(options = Options.default) ?(max_iter = 200) ?(tol = 1e-9) net =
     if round >= max_iter then (false, round)
     else begin
       (* Jacobi step: all local delays from the current table, then all
-         envelope updates into a fresh table. *)
+         envelope updates into a fresh table.  Per-server bounds only
+         read the (frozen) current table, so they are independent —
+         exactly the structure a Jacobi sweep buys over Gauss-Seidel —
+         and run on the netcalc.par pool.  [Par.map] keeps list order,
+         so the fold below applies updates in the sequential order and
+         the iterates are bit-identical at any jobs count. *)
       let delays =
-        List.map
+        Par.map
           (fun (s : Server.t) ->
             (s.id, Local_bounds.at_server ~options net !envs ~server:s.id))
           servers

@@ -22,9 +22,16 @@ let fifo_theta ~rate ~cross ~theta =
        theta.  The result may jump at theta; take its convex hull, which
        is a valid (<=) service curve. *)
     let candidates = theta :: Pwl.breakpoints member in
+    let clip ts vs =
+      Array.iteri (fun i t -> if t < theta then vs.(i) <- 0.) ts;
+      vs
+    in
     let clipped =
-      Pwl.of_sampler ~candidates ~eval:(fun t ->
-          if t < theta then 0. else Pwl.eval member t)
+      Pwl.of_sampler
+        ~eval_seq:(fun ts -> clip ts (Pwl.eval_seq member ts))
+        ~candidates
+        ~eval:(fun t -> if t < theta then 0. else Pwl.eval member t)
+        ()
     in
     Pwl.lower_convex_hull clipped
 

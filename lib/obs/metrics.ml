@@ -11,39 +11,52 @@ type dist = {
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let dists : (string, dist) Hashtbl.t = Hashtbl.create 32
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { cname = name; n = 0 } in
-      Hashtbl.replace counters name c;
-      c
+(* One lock for the whole registry and every update.  Recording from
+   netcalc.par worker domains would otherwise lose increments (and
+   corrupt the Hashtbls on registration); a single uncontended
+   lock/unlock is tens of nanoseconds, far below the min-plus
+   operations being counted, and recording only happens when Obs is
+   enabled anyway.  (Per-domain buffers merged at report time would
+   shave the contention, at the price of snapshot consistency; revisit
+   if a profile ever shows this lock.) *)
+let m = Obs_sync.create ()
 
-let incr c = c.n <- c.n + 1
+let counter name =
+  Obs_sync.with_lock m (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { cname = name; n = 0 } in
+          Hashtbl.replace counters name c;
+          c)
+
+let incr c = Obs_sync.with_lock m (fun () -> c.n <- c.n + 1)
 
 let add c n =
   if n < 0 then invalid_arg "Metrics.add: counters are monotone (n < 0)";
-  c.n <- c.n + n
+  Obs_sync.with_lock m (fun () -> c.n <- c.n + n)
 
-let value c = c.n
+let value c = Obs_sync.with_lock m (fun () -> c.n)
 let counter_name c = c.cname
 
 let dist name =
-  match Hashtbl.find_opt dists name with
-  | Some d -> d
-  | None ->
-      let d =
-        { dname = name; count = 0; sum = 0.; vmin = infinity;
-          vmax = neg_infinity }
-      in
-      Hashtbl.replace dists name d;
-      d
+  Obs_sync.with_lock m (fun () ->
+      match Hashtbl.find_opt dists name with
+      | Some d -> d
+      | None ->
+          let d =
+            { dname = name; count = 0; sum = 0.; vmin = infinity;
+              vmax = neg_infinity }
+          in
+          Hashtbl.replace dists name d;
+          d)
 
 let observe d v =
-  d.count <- d.count + 1;
-  d.sum <- d.sum +. v;
-  if v < d.vmin then d.vmin <- v;
-  if v > d.vmax then d.vmax <- v
+  Obs_sync.with_lock m (fun () ->
+      d.count <- d.count + 1;
+      d.sum <- d.sum +. v;
+      if v < d.vmin then d.vmin <- v;
+      if v > d.vmax then d.vmax <- v)
 
 type dist_stats = {
   count : int;
@@ -53,7 +66,8 @@ type dist_stats = {
   dmax : float;
 }
 
-let dist_stats (d : dist) =
+(* Callers must hold [m]. *)
+let dist_stats_unlocked (d : dist) =
   {
     count = d.count;
     sum = d.sum;
@@ -62,17 +76,19 @@ let dist_stats (d : dist) =
     dmax = d.vmax;
   }
 
+let dist_stats d = Obs_sync.with_lock m (fun () -> dist_stats_unlocked d)
 let dist_name d = d.dname
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.n <- 0) counters;
-  Hashtbl.iter
-    (fun _ (d : dist) ->
-      d.count <- 0;
-      d.sum <- 0.;
-      d.vmin <- infinity;
-      d.vmax <- neg_infinity)
-    dists
+  Obs_sync.with_lock m (fun () ->
+      Hashtbl.iter (fun _ c -> c.n <- 0) counters;
+      Hashtbl.iter
+        (fun _ (d : dist) ->
+          d.count <- 0;
+          d.sum <- 0.;
+          d.vmin <- infinity;
+          d.vmax <- neg_infinity)
+        dists)
 
 type snapshot = {
   counters : (string * int) list;
@@ -84,10 +100,11 @@ let sorted_bindings tbl f =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let snapshot () =
-  {
-    counters = sorted_bindings counters (fun c -> c.n);
-    dists = sorted_bindings dists dist_stats;
-  }
+  Obs_sync.with_lock m (fun () ->
+      {
+        counters = sorted_bindings counters (fun c -> c.n);
+        dists = sorted_bindings dists dist_stats_unlocked;
+      })
 
 let to_table ?(all = false) () =
   let s = snapshot () in

@@ -1,0 +1,26 @@
+(** Synchronization shims that make [netcalc.obs] safe under
+    concurrent recording from [netcalc.par] worker domains.
+
+    Selected at build time (see the dune rules in this directory):
+    OCaml 5 gets real [Mutex]es and [Domain.DLS]-backed domain-local
+    slots; OCaml 4.x — where netcalc.par is sequential and only one
+    thread ever records — gets free no-op locks and a single shared
+    slot.  Instrumented modules write against this interface and stay
+    identical across both compilers. *)
+
+type mutex
+
+val create : unit -> mutex
+
+val with_lock : mutex -> (unit -> 'a) -> 'a
+(** Run the thunk holding the lock; released on exception. *)
+
+type 'a local
+(** A per-domain slot (one shared slot on the sequential backend). *)
+
+val make_local : (unit -> 'a) -> 'a local
+(** [make_local init] creates the slot; [init] runs once per domain on
+    first access (once overall, sequentially, on OCaml 4.x). *)
+
+val get_local : 'a local -> 'a
+(** The calling domain's value. *)

@@ -1,0 +1,20 @@
+(* OCaml >= 5.0 backend of Obs_sync: real mutexes, Domain.DLS slots. *)
+
+type mutex = Mutex.t
+
+let create () = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      raise e
+
+type 'a local = 'a Domain.DLS.key
+
+let make_local init = Domain.DLS.new_key init
+let get_local k = Domain.DLS.get k

@@ -1,0 +1,13 @@
+(* OCaml 4.x backend of Obs_sync: single-threaded recording (the
+   netcalc.par fallback is sequential), so locks are free and the
+   "domain-local" slot is one lazily initialized value. *)
+
+type mutex = unit
+
+let create () = ()
+let with_lock () f = f ()
+
+type 'a local = 'a Lazy.t
+
+let make_local init = lazy (init ())
+let get_local l = Lazy.force l

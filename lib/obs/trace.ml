@@ -2,18 +2,26 @@ type event = { name : string; ts_us : float; dur_us : float; depth : int }
 
 let t0 = Unix.gettimeofday ()
 let now_us () = (Unix.gettimeofday () -. t0) *. 1e6
+let now_s () = now_us () /. 1e6
 
 (* Ring buffer of completed events, newest kept.  Allocated lazily on
    the first record so that processes that never enable observability
-   (the default) do not pay for a large array at startup. *)
+   (the default) do not pay for a large array at startup.  Ring,
+   counters and aggregates are shared across domains and guarded by
+   [m]: netcalc.par workers record spans concurrently, and an unlocked
+   ring would tear its indices. *)
+let m = Obs_sync.create ()
 let cap = ref 65536
 let ring : event option array ref = ref [||]
 let write_idx = ref 0
 let stored = ref 0
 let dropped_count = ref 0
 
-(* Open spans, innermost first. *)
-let stack : (string * float) list ref = ref []
+(* Open spans, innermost first — per domain.  Span nesting is a
+   property of one thread of control: a worker's spans must pop in the
+   worker's own LIFO order, never interleave with another domain's.
+   The recorded [depth] is likewise the domain-local nesting depth. *)
+let stack = Obs_sync.make_local (fun () -> ref [])
 
 (* Exact per-name aggregates, immune to ring eviction. *)
 type agg = { calls : int; total_us : float; max_us : float }
@@ -21,46 +29,54 @@ type agg = { calls : int; total_us : float; max_us : float }
 let aggs : (string, agg) Hashtbl.t = Hashtbl.create 32
 
 let clear () =
-  ring := [||];
-  write_idx := 0;
-  stored := 0;
-  dropped_count := 0;
-  stack := [];
-  Hashtbl.reset aggs
+  Obs_sync.with_lock m (fun () ->
+      ring := [||];
+      write_idx := 0;
+      stored := 0;
+      dropped_count := 0;
+      Hashtbl.reset aggs);
+  (* Only the calling domain's open spans can be dropped; other
+     domains' stacks are unreachable by design (and a worker mid-span
+     during clear is a caller bug). *)
+  Obs_sync.get_local stack := []
 
 let capacity () = !cap
 
 let set_capacity n =
   if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";
-  cap := n;
+  Obs_sync.with_lock m (fun () -> cap := n);
   clear ()
 
 let record ev =
-  if Array.length !ring <> !cap then ring := Array.make !cap None;
-  let r = !ring in
-  if r.(!write_idx) <> None then Stdlib.incr dropped_count
-  else Stdlib.incr stored;
-  r.(!write_idx) <- Some ev;
-  write_idx := (!write_idx + 1) mod !cap;
-  let prev =
-    match Hashtbl.find_opt aggs ev.name with
-    | Some a -> a
-    | None -> { calls = 0; total_us = 0.; max_us = 0. }
-  in
-  Hashtbl.replace aggs ev.name
-    {
-      calls = prev.calls + 1;
-      total_us = prev.total_us +. ev.dur_us;
-      max_us = Float.max prev.max_us ev.dur_us;
-    }
+  Obs_sync.with_lock m (fun () ->
+      if Array.length !ring <> !cap then ring := Array.make !cap None;
+      let r = !ring in
+      if r.(!write_idx) <> None then Stdlib.incr dropped_count
+      else Stdlib.incr stored;
+      r.(!write_idx) <- Some ev;
+      write_idx := (!write_idx + 1) mod !cap;
+      let prev =
+        match Hashtbl.find_opt aggs ev.name with
+        | Some a -> a
+        | None -> { calls = 0; total_us = 0.; max_us = 0. }
+      in
+      Hashtbl.replace aggs ev.name
+        {
+          calls = prev.calls + 1;
+          total_us = prev.total_us +. ev.dur_us;
+          max_us = Float.max prev.max_us ev.dur_us;
+        })
 
-let begin_span name = stack := (name, now_us ()) :: !stack
+let begin_span name =
+  let st = Obs_sync.get_local stack in
+  st := (name, now_us ()) :: !st
 
 let end_span () =
-  match !stack with
+  let st = Obs_sync.get_local stack in
+  match !st with
   | [] -> invalid_arg "Trace.end_span: no open span"
   | (name, start) :: rest ->
-      stack := rest;
+      st := rest;
       record
         {
           name;
@@ -79,26 +95,28 @@ let with_span name f =
       end_span ();
       raise e
 
-let depth () = List.length !stack
+let depth () = List.length !(Obs_sync.get_local stack)
 
 let events () =
   (* Completion order: from the oldest live slot to the newest.  When
      the ring has wrapped, the oldest slot is the one about to be
      overwritten, i.e. [write_idx]. *)
-  let r = !ring in
-  let start = if !stored < !cap then 0 else !write_idx in
-  let out = ref [] in
-  for i = 0 to !stored - 1 do
-    match r.((start + i) mod !cap) with
-    | Some ev -> out := ev :: !out
-    | None -> ()
-  done;
-  List.rev !out
+  Obs_sync.with_lock m (fun () ->
+      let r = !ring in
+      let start = if !stored < !cap then 0 else !write_idx in
+      let out = ref [] in
+      for i = 0 to !stored - 1 do
+        match r.((start + i) mod !cap) with
+        | Some ev -> out := ev :: !out
+        | None -> ()
+      done;
+      List.rev !out)
 
-let dropped () = !dropped_count
+let dropped () = Obs_sync.with_lock m (fun () -> !dropped_count)
 
 let aggregates () =
-  Hashtbl.fold (fun name a acc -> (name, a) :: acc) aggs []
+  Obs_sync.with_lock m (fun () ->
+      Hashtbl.fold (fun name a acc -> (name, a) :: acc) aggs [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let summary_table () =

@@ -11,7 +11,15 @@
 
     {!to_chrome_json} renders the buffer in the Chrome trace-event
     format (ph = "X" complete events, microsecond timestamps), which
-    [chrome://tracing] and Perfetto open directly. *)
+    [chrome://tracing] and Perfetto open directly.
+
+    Concurrency: the open-span stack (and hence {!depth} and the
+    recorded nesting depth) is {e per domain}, so netcalc.par workers
+    each keep their own well-nested spans; the completed-event ring
+    and the per-name aggregates are shared and lock-guarded, so
+    {!events}, {!aggregates} and {!summary_table} see every domain's
+    spans.  {!clear} empties only the calling domain's open-span
+    stack (call it between parallel regions, not inside one). *)
 
 type event = {
   name : string;
@@ -19,6 +27,17 @@ type event = {
   dur_us : float;
   depth : int;     (** nesting depth at the time the span was open *)
 }
+
+val now_us : unit -> float
+(** Elapsed {e wall-clock} microseconds since process start — the
+    clock every span timestamp uses.  Exposed so other timing sites
+    (e.g. [Engine.flow_delay], the bench harness) share one clock:
+    unlike [Sys.time], which counts CPU seconds of the whole process
+    and therefore over-reports by ~[jobs]x once netcalc.par domains
+    run concurrently, this measures real latency. *)
+
+val now_s : unit -> float
+(** [now_us () /. 1e6], for callers reporting seconds. *)
 
 val begin_span : string -> unit
 val end_span : unit -> unit

@@ -1,0 +1,68 @@
+(* Frontend of netcalc.par: jobs resolution, chunking, deterministic
+   result assembly and exception transport.  The execution strategy
+   lives in Par_backend (Domain pool on OCaml 5, inline on 4.x). *)
+
+let backend = Par_backend.name
+let parallel_available = Par_backend.available
+
+let env_jobs =
+  lazy
+    (match Sys.getenv_opt "NETCALC_JOBS" with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Some n
+        | Some _ | None -> None))
+
+let override = ref None
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Par.set_jobs: jobs must be >= 1";
+  override := Some n
+
+let clear_jobs () = override := None
+
+let default_jobs () =
+  match Lazy.force env_jobs with
+  | Some n -> n
+  | None -> max 1 (Par_backend.recommended_jobs ())
+
+let jobs () = match !override with Some n -> n | None -> default_jobs ()
+
+let mapi ?jobs:requested f xs =
+  let jobs =
+    match requested with Some n -> max 1 n | None -> jobs ()
+  in
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else if jobs <= 1 || n <= 1 || Par_backend.in_parallel () then
+    List.mapi f xs
+  else begin
+    let out = Array.make n None in
+    let first_err = Atomic.make None in
+    (* Small chunks (several per worker) so an expensive cell — high
+       utilization, many hops — does not leave the other domains idle;
+       index-ordered assembly keeps the output deterministic anyway. *)
+    let chunk = max 1 (n / (jobs * 4)) in
+    let chunks = (n + chunk - 1) / chunk in
+    let body c =
+      if Atomic.get first_err = None then begin
+        let lo = c * chunk and hi = min n ((c + 1) * chunk) - 1 in
+        try
+          for i = lo to hi do
+            out.(i) <- Some (f i arr.(i))
+          done
+        with e -> ignore (Atomic.compare_and_set first_err None (Some e))
+      end
+    in
+    Par_backend.parallel_for ~jobs ~chunks body;
+    (match Atomic.get first_err with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) out)
+  end
+
+let map ?jobs f xs = mapi ?jobs (fun _ x -> f x) xs
+
+let map_reduce ?jobs ~map:f ~reduce init xs =
+  List.fold_left reduce init (map ?jobs f xs)

@@ -46,6 +46,32 @@ val deconv : Pwl.t -> Pwl.t -> Pwl.t
     deconvolution is infinite everywhere.
     @raise Invalid_argument when it would be infinite. *)
 
+(** {1 Result cache}
+
+    [conv] and [deconv] memoize their results in a content-keyed cache
+    (key = the operands' normalized segment lists), because the
+    fixed-point iteration and the figure sweeps re-derive the same
+    curve pairs many times over.  Cached values are immutable, so a hit
+    is indistinguishable from recomputation and results are
+    byte-identical with the cache on or off.  The cache is enabled by
+    default, bounded (wholesale reset past a few thousand entries), and
+    safe to use from netcalc.par worker domains.  Hits and misses are
+    also published as the [pwl.cache.hits] / [pwl.cache.misses]
+    observability counters. *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+val cache_enabled : unit -> bool
+val set_cache_enabled : bool -> unit
+
+val cache_clear : unit -> unit
+(** Drop every cached entry (keeps the hit/miss counters; those are
+    reset with [Metrics.reset]). *)
+
+val cache_stats : unit -> cache_stats
+(** Cumulative hits/misses since the last [Metrics.reset] and the
+    current number of live entries. *)
+
 val busy_period : agg:Pwl.t -> rate:float -> float
 (** [busy_period ~agg ~rate] bounds the length of a busy period of a
     work-conserving server of rate [rate] whose aggregate input is

@@ -96,6 +96,58 @@ let eval_left f t =
       p.y +. (p.slope *. (t -. p.x))
     else s.y +. (s.slope *. (t -. s.x))
 
+(* Batch evaluation over sorted abscissae with a monotone segment
+   cursor: one pass over the points and one over the segments, instead
+   of a binary search (and its per-call float boxing) per point.  The
+   deconvolution inner loop and conv_with_rate evaluate thousands of
+   sorted points per call, which is where this matters. *)
+
+let check_sorted_step name prev t =
+  if t < prev then
+    invalid_arg (name ^ ": abscissae must be sorted nondecreasing")
+
+let eval_seq f ts =
+  let n = Array.length ts in
+  let out = Array.make n 0. in
+  let segs = f.segs in
+  let nsegs = Array.length segs in
+  let j = ref 0 in
+  let prev = ref neg_infinity in
+  for i = 0 to n - 1 do
+    let t = Float.max ts.(i) 0. in
+    check_sorted_step "Pwl.eval_seq" !prev t;
+    prev := t;
+    while !j + 1 < nsegs && segs.(!j + 1).x <= t do
+      incr j
+    done;
+    let s = segs.(!j) in
+    out.(i) <- s.y +. (s.slope *. (t -. s.x))
+  done;
+  out
+
+let eval_left_seq f ts =
+  let n = Array.length ts in
+  let out = Array.make n 0. in
+  let segs = f.segs in
+  let nsegs = Array.length segs in
+  let j = ref 0 in
+  let prev = ref neg_infinity in
+  for i = 0 to n - 1 do
+    let t = Float.max ts.(i) 0. in
+    check_sorted_step "Pwl.eval_left_seq" !prev t;
+    prev := t;
+    while !j + 1 < nsegs && segs.(!j + 1).x <= t do
+      incr j
+    done;
+    let s = segs.(!j) in
+    out.(i) <-
+      (if s.x = t && !j > 0 then
+         let p = segs.(!j - 1) in
+         p.y +. (p.slope *. (t -. p.x))
+       else s.y +. (s.slope *. (t -. s.x)))
+  done;
+  out
+
 let segments f = Array.to_list (Array.map (fun s -> (s.x, s.y, s.slope)) f.segs)
 let breakpoints f = Array.to_list (Array.map (fun s -> s.x) f.segs)
 let final_slope f = f.segs.(Array.length f.segs - 1).slope
@@ -170,41 +222,62 @@ let to_string f = Format.asprintf "%a" pp f
    [of_sampler] divide by the interval width, so near-coincident
    candidates (typically two float routes to the same geometric
    crossing) would amplify evaluation noise into garbage slopes.
-   Merging them instead loses at most slope * 1e-9 of accuracy. *)
-let dedup_sorted xs =
+   Merging them instead loses at most slope * 1e-9 of accuracy.
+   In place on a sorted array; returns the deduped length. *)
+let dedup_sorted_into arr =
   let near a b = b -. a < 1e-9 *. Float.max 1. (Float.abs a) in
-  let rec go = function
-    | a :: (b :: _ as rest) when near a b -> go (a :: List.tl rest)
-    | a :: rest -> a :: go rest
-    | [] -> []
-  in
-  go xs
-
-let of_sampler ~candidates ~eval:sample =
-  let xs =
-    candidates
-    |> List.filter_map (fun x ->
-           if Float.is_nan x then None else Some (Float.max 0. x))
-    |> List.filter Float.is_finite
-    |> List.cons 0.
-    |> List.sort_uniq compare
-    |> dedup_sorted
-  in
-  let arr = Array.of_list xs in
   let n = Array.length arr in
-  let seg_of i =
+  if n = 0 then 0
+  else begin
+    let w = ref 0 in
+    for i = 1 to n - 1 do
+      if not (near arr.(!w) arr.(i)) then begin
+        Stdlib.incr w;
+        arr.(!w) <- arr.(i)
+      end
+    done;
+    !w + 1
+  end
+
+let of_sampler ?eval_seq:batch ~candidates ~eval:sample () =
+  (* Sanitize into a sorted deduped array.  Array.sort with
+     Float.compare beats the former List.sort_uniq with polymorphic
+     compare by a wide margin on the O(|f|*|g|) candidate sets the
+     deconvolution feeds through here. *)
+  let keep x = Float.is_finite x (* drops nan and both infinities *) in
+  let raw = List.filter keep candidates in
+  let arr = Array.make (1 + List.length raw) 0. in
+  List.iteri (fun i x -> arr.(i + 1) <- Float.max 0. x) raw;
+  Array.sort Float.compare arr;
+  let n = dedup_sorted_into arr in
+  (* Probe points x_i < m1_i < m2_i < x_{i+1}, interleaved — globally
+     sorted, so a batch evaluator can run them in one monotone pass. *)
+  let probes = Array.make (3 * n) 0. in
+  for i = 0 to n - 1 do
     let x = arr.(i) in
-    let y = sample x in
     let m1, m2 =
       if i + 1 < n then
         let w = arr.(i + 1) -. x in
         (x +. (w /. 3.), x +. (2. *. w /. 3.))
       else (x +. 1., x +. 2.)
     in
-    let slope = (sample m2 -. sample m1) /. (m2 -. m1) in
-    (x, y, slope)
+    probes.(3 * i) <- x;
+    probes.((3 * i) + 1) <- m1;
+    probes.((3 * i) + 2) <- m2
+  done;
+  let values =
+    match batch with
+    | Some eval_seq -> eval_seq probes
+    | None -> Array.map sample probes
   in
-  make (List.init n seg_of)
+  if Array.length values <> 3 * n then
+    invalid_arg "Pwl.of_sampler: eval_seq returned a wrong-sized array";
+  make
+    (List.init n (fun i ->
+         let x = probes.(3 * i) and y = values.(3 * i) in
+         let m1 = probes.((3 * i) + 1) and m2 = probes.((3 * i) + 2) in
+         let slope = (values.((3 * i) + 2) -. values.((3 * i) + 1)) /. (m2 -. m1) in
+         (x, y, slope)))
 
 (* ------------------------------------------------------------------ *)
 (* Pointwise algebra                                                   *)

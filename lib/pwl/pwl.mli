@@ -38,8 +38,9 @@ val affine : y0:float -> slope:float -> t
 (** [affine ~y0 ~slope] is [fun t -> y0 +. slope *. t]. *)
 
 val of_sampler :
-  candidates:float list -> eval:(float -> float) -> t
-(** [of_sampler ~candidates ~eval] reconstructs a piecewise-linear
+  ?eval_seq:(float array -> float array) ->
+  candidates:float list -> eval:(float -> float) -> unit -> t
+(** [of_sampler ~candidates ~eval ()] reconstructs a piecewise-linear
     function from an exact evaluator.  [candidates] must contain every
     true breakpoint of the function (extra points and duplicates are
     fine; points are clamped to [>= 0.]).  [eval] must be the
@@ -47,7 +48,13 @@ val of_sampler :
     operations (deconvolution, the FIFO-theta clipping): the structural
     operations below are exact segmentwise constructions instead, so
     probe noise cannot accumulate through chained uses (see DESIGN.md
-    §7). *)
+    §7).
+
+    [?eval_seq], when given, replaces the pointwise [eval] for the bulk
+    of the work: it receives the complete probe array (sorted
+    nondecreasing) and must return the values at those points, allowing
+    implementations backed by {!eval_seq}-style monotone cursors to
+    avoid a binary search per probe.  It must agree with [eval]. *)
 
 (** {1 Inspection} *)
 
@@ -57,6 +64,19 @@ val eval : t -> float -> float
 val eval_left : t -> float -> float
 (** Left limit [f (t-)]; equals [eval f t] except at upward jumps.
     [eval_left f 0. = eval f 0.]. *)
+
+val eval_seq : t -> float array -> float array
+(** [eval_seq f ts] evaluates [f] at every point of [ts], which must be
+    sorted nondecreasing (negative points are clamped to [0.] first).
+    Semantically [Array.map (eval f) ts], but a single monotone cursor
+    walks the segments once instead of binary-searching per point —
+    O(|ts| + |f|) instead of O(|ts| log |f|).  This is the batch
+    evaluator behind the min-plus kernels ({!Minplus.deconv},
+    [conv_with_rate]) whose probe sets are sorted by construction.
+    @raise Invalid_argument if [ts] decreases. *)
+
+val eval_left_seq : t -> float array -> float array
+(** Batch {!eval_left} under the same contract as {!eval_seq}. *)
 
 val segments : t -> (float * float * float) list
 (** The segments as given to {!make}, normalized. *)

@@ -22,4 +22,5 @@ let () =
       Test_heterogeneous.suite;
       Test_edf_allocation.suite;
       Test_determinism.suite;
+      Test_par.suite;
     ]

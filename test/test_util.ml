@@ -50,6 +50,24 @@ let test_sweep_steps () =
   Alcotest.(check int) "many steps" 9
     (List.length (Sweep.steps ~lo:0.1 ~hi:0.9 ~step:0.1))
 
+(* The bench grid: index-based generation + decimal snapping must
+   reproduce the exact float literals 0.1 .. 0.9 — no accumulation
+   drift (0.1 +. 0.2 alone is already 0.30000000000000004).  Exact
+   equality on purpose. *)
+let test_sweep_steps_exact () =
+  let got = Sweep.steps ~lo:0.1 ~hi:0.9 ~step:0.1 in
+  let want = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ] in
+  Alcotest.(check int) "length" (List.length want) (List.length got);
+  List.iter2
+    (fun w g ->
+      if w <> g then Alcotest.failf "grid point: expected %.17g, got %.17g" w g)
+    want got;
+  (* Robustness cases: single point, empty range. *)
+  Alcotest.(check (list (float 0.))) "single point" [ 2. ]
+    (Sweep.steps ~lo:2. ~hi:2. ~step:0.5);
+  Alcotest.(check (list (float 0.))) "empty when hi < lo" []
+    (Sweep.steps ~lo:1. ~hi:0. ~step:0.25)
+
 let contains haystack needle =
   let n = String.length needle and h = String.length haystack in
   let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
@@ -104,6 +122,7 @@ let suite =
       test "clamp and friends" test_float_ops_misc;
       test "linspace" test_sweep_linspace;
       test "steps" test_sweep_steps;
+      test "steps exact decimal grid" test_sweep_steps_exact;
       test "table rendering" test_table_render;
       test "table padding and errors" test_table_padding_and_errors;
       test "table csv" test_table_csv;
