@@ -8,7 +8,7 @@ type t = {
 
 let network t = t.net
 
-let analyze ?(options = Options.default) net =
+let analyze_raw ~options net =
   let order = Network.topological_order net in
   let envs = Propagation.create net in
   let locals = Hashtbl.create 64 in
@@ -50,12 +50,24 @@ let analyze ?(options = Options.default) net =
               assert (f.id = f'.id);
               Hashtbl.replace locals (f.id, sid) d;
               if d = infinity then poison_rest f ~from:sid
-              else Propagation.set_next envs f ~after:sid (Pwl.shift_left env d))
+              else
+                Propagation.set_next envs f ~after:sid
+                  (Options.compact_envelope options (Pwl.shift_left env d)))
             with_envs delays
         end
       end)
     order;
   { net; options; envs; locals; poisoned }
+
+(* The sweep-engine memo: one entry per structurally distinct
+   (network, options).  The result record is only mutated during
+   [analyze_raw], so sharing it between callers is safe. *)
+let memo : t Incremental.table = Incremental.table ()
+
+let analyze ?(options = Options.default) net =
+  Incremental.memoize memo
+    (Incremental.net_key ~options net)
+    (fun () -> analyze_raw ~options net)
 
 let local_delay t ~flow ~server =
   match Hashtbl.find_opt t.locals (flow, server) with

@@ -72,9 +72,10 @@ let analyze ?(options = Options.default) ?(max_iter = 200) ?(tol = 1e-9) net =
                 match Flow.next_hop f sid with
                 | Some s' ->
                     Propagation.set next ~flow:f.id ~server:s'
-                      (Pwl.shift_left
-                         (Propagation.get !envs ~flow:f.id ~server:sid)
-                         d)
+                      (Options.compact_envelope options
+                         (Pwl.shift_left
+                            (Propagation.get !envs ~flow:f.id ~server:sid)
+                            d))
                 | None -> ())
               per_flow)
           delays;

@@ -53,7 +53,8 @@ let analyze_with_pairing ?(options = Options.default) net pairing_list =
     if d = infinity then poison_rest poisoned f ~from:last
     else
       let env = Propagation.get envs ~flow:f.id ~server:entry in
-      Propagation.set_next envs f ~after:last (Pwl.shift_left env d)
+      Propagation.set_next envs f ~after:last
+        (Options.compact_envelope options (Pwl.shift_left env d))
   in
   Array.iteri
     (fun idx subnet ->
@@ -128,8 +129,12 @@ let analyze_with_pairing ?(options = Options.default) net pairing_list =
     pairing;
   { net; pairing; envs; contributions; poisoned }
 
-let analyze ?options ?(strategy = Pairing.Greedy) net =
-  analyze_with_pairing ?options net (Pairing.build net strategy)
+let memo : t Incremental.table = Incremental.table ()
+
+let analyze ?(options = Options.default) ?(strategy = Pairing.Greedy) net =
+  Incremental.memoize memo
+    (Incremental.net_key ~options ~strategy net)
+    (fun () -> analyze_with_pairing ~options net (Pairing.build net strategy))
 
 let flow_delay t id =
   let total = ref 0. in

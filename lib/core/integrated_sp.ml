@@ -50,7 +50,7 @@ let sorted_classes net sid flows =
   |> List.map (class_of net sid)
   |> List.sort_uniq compare
 
-let analyze ?(options = Options.default) ?(strategy = Pairing.Greedy) net =
+let analyze_raw ~options ~strategy net =
   require_sp_or_fifo net;
   let pairing_list = Pairing.build net strategy in
   let pairing = Array.of_list pairing_list in
@@ -228,6 +228,13 @@ let analyze ?(options = Options.default) ?(strategy = Pairing.Greedy) net =
             classes)
     pairing;
   { net; pairing; envs; contributions; poisoned }
+
+let memo : t Incremental.table = Incremental.table ()
+
+let analyze ?(options = Options.default) ?(strategy = Pairing.Greedy) net =
+  Incremental.memoize memo
+    (Incremental.net_key ~options ~strategy net)
+    (fun () -> analyze_raw ~options ~strategy net)
 
 let flow_delay t id =
   let total = ref 0. in

@@ -13,43 +13,27 @@ let observed_bps d r =
     Metrics.observe d (float_of_int (List.length (Pwl.breakpoints r)));
   r
 
-(* Content-keyed memo cache for [conv] and [deconv].  The fixed-point
-   iteration and the figure sweeps recompute the same small set of
-   curve pairs many times over (the Jacobi step re-derives every
-   server's inputs each round, and neighbouring sweep cells share most
-   of their curves), so even a small exact-match cache removes a large
-   fraction of the kernel work.  Keys are the normalized segment lists
-   — curve {e content}, not identity — so two separately-constructed
-   but equal curves share an entry.  Values are immutable [Pwl.t], so
-   returning the cached value is indistinguishable from recomputing:
-   results stay byte-identical whether or not the cache is on, which
-   the determinism tests pin.  Guarded by one lock: netcalc.par worker
+(* Memo cache for [conv] and [deconv].  The fixed-point iteration and
+   the figure sweeps recompute the same small set of curve pairs many
+   times over (the Jacobi step re-derives every server's inputs each
+   round, and neighbouring sweep cells share most of their curves), so
+   even a small exact-match cache removes a large fraction of the
+   kernel work.  Keys are the operands' intern uids ({!Pwl.uid}):
+   hash-consing makes uid equality mean content equality, so two
+   separately-constructed but equal curves share an entry, and the key
+   is two machine words instead of a walk over every segment.  Values
+   are immutable [Pwl.t], so returning the cached value is
+   indistinguishable from recomputing: results stay byte-identical
+   whether or not the cache is on, which the determinism tests pin.
+   (After an intern-table reset, equal curves get fresh uids and the
+   lookup misses — a recompute of the identical value, never a wrong
+   hit: uids are not reused.)  Guarded by one lock: netcalc.par worker
    domains hit these tables concurrently. *)
 module Cache_key = struct
-  type t = (float * float * float) list * (float * float * float) list
+  type t = int * int
 
-  let equal = Stdlib.( = )
-
-  (* The default [Hashtbl.hash] only folds the first ~10 nodes of a
-     structure, which collides badly on curve pairs that share a
-     prefix; fold every coordinate instead, via its bit pattern so
-     [0.] and [-0.] (structurally distinct) hash apart. *)
-  let hash (a, b) =
-    let h = ref 0x9e3779b9 in
-    let mix_float x =
-      let bits = Int64.to_int (Int64.bits_of_float x) in
-      h := (!h * 31) + bits
-    in
-    let mix_segs =
-      List.iter (fun (x, y, s) ->
-          mix_float x;
-          mix_float y;
-          mix_float s)
-    in
-    mix_segs a;
-    h := (!h * 31) + 0x55;
-    mix_segs b;
-    !h land max_int
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = (((a * 31) + b) * 0x9e3779b9) land max_int
 end
 
 module Cache_tbl = Hashtbl.Make (Cache_key)
@@ -91,7 +75,7 @@ let cache_stats () =
 let cached tbl f g compute =
   if not (Obs_sync.with_lock cache_lock (fun () -> !cache_on)) then compute ()
   else begin
-    let key = (Pwl.segments f, Pwl.segments g) in
+    let key = (Pwl.uid f, Pwl.uid g) in
     match Obs_sync.with_lock cache_lock (fun () -> Cache_tbl.find_opt tbl key)
     with
     | Some r ->

@@ -48,12 +48,14 @@ val deconv : Pwl.t -> Pwl.t -> Pwl.t
 
 (** {1 Result cache}
 
-    [conv] and [deconv] memoize their results in a content-keyed cache
-    (key = the operands' normalized segment lists), because the
-    fixed-point iteration and the figure sweeps re-derive the same
-    curve pairs many times over.  Cached values are immutable, so a hit
-    is indistinguishable from recomputation and results are
-    byte-identical with the cache on or off.  The cache is enabled by
+    [conv] and [deconv] memoize their results in a cache keyed by the
+    operands' intern uids ({!Pwl.uid}) — hash-consing makes uid
+    equality mean content equality, so the key is O(1) instead of a
+    walk over every segment — because the fixed-point iteration and the
+    figure sweeps re-derive the same curve pairs many times over.
+    Cached values are immutable, so a hit is indistinguishable from
+    recomputation and results are byte-identical with the cache on or
+    off.  The cache is enabled by
     default, bounded (wholesale reset past a few thousand entries), and
     safe to use from netcalc.par worker domains.  Hits and misses are
     also published as the [pwl.cache.hits] / [pwl.cache.misses]

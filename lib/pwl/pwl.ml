@@ -1,6 +1,14 @@
 
 type seg = { x : float; y : float; slope : float }
-type t = { segs : seg array }
+
+type t = { segs : seg array; uid : int; hash : int }
+(* Values are hash-consed: [make] interns the normalized segment array,
+   so two structurally (bit-)identical curves constructed anywhere in
+   the process are one physical value.  [uid] is unique per interned
+   value and never reused, which makes it a sound O(1) cache key
+   ([Minplus], the incremental engine): uid equality implies physical
+   equality implies mathematical equality.  [hash] is the content hash,
+   precomputed once. *)
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -36,6 +44,111 @@ let normalize segs =
 let c_make = Metrics.counter "pwl.make.calls"
 let d_breakpoints = Metrics.dist "pwl.breakpoints"
 
+(* ------------------------------------------------------------------ *)
+(* Intern (hash-consing) table                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Content identity is decided on the float bit patterns, so [0.] and
+   [-0.] (and any two NaN payloads) stay distinct and returning an
+   interned value is byte-for-byte indistinguishable from building a
+   fresh one.  The table is bounded like the [Minplus] cache: past the
+   cap it is reset wholesale, after which structurally equal curves get
+   fresh uids — downstream uid-keyed caches then miss and recompute the
+   same values, so correctness never depends on the cap.  One lock
+   guards lookup+insert: netcalc.par worker domains construct curves
+   concurrently. *)
+
+let seg_equal_bits a b =
+  Int64.bits_of_float a.x = Int64.bits_of_float b.x
+  && Int64.bits_of_float a.y = Int64.bits_of_float b.y
+  && Int64.bits_of_float a.slope = Int64.bits_of_float b.slope
+
+let segs_equal_bits a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i < 0 || (seg_equal_bits a.(i) b.(i) && go (i - 1)) in
+  go (Array.length a - 1)
+
+let hash_segs segs =
+  let h = ref 0x9e3779b9 in
+  let mix_float v = h := (!h * 31) + Int64.to_int (Int64.bits_of_float v) in
+  Array.iter
+    (fun s ->
+      mix_float s.x;
+      mix_float s.y;
+      mix_float s.slope)
+    segs;
+  !h land max_int
+
+let intern_lock = Obs_sync.create ()
+let intern_cap = 16384
+let intern_on = ref true
+let intern_tbl : (int, t list) Hashtbl.t = Hashtbl.create 1024
+let intern_count = ref 0
+let next_uid = ref 0
+
+(* Hit/miss counters are recorded unconditionally, mirroring the
+   [Minplus] cache counters: [intern_stats] must be accurate even when
+   profiling is enabled only for the final report. *)
+let c_intern_hit = Metrics.counter "pwl.intern.hits"
+let c_intern_miss = Metrics.counter "pwl.intern.misses"
+let d_intern_size = Metrics.dist "pwl.intern.size"
+
+type intern_stats = { hits : int; misses : int; entries : int }
+
+let intern_stats () =
+  { hits = Metrics.value c_intern_hit;
+    misses = Metrics.value c_intern_miss;
+    entries = Obs_sync.with_lock intern_lock (fun () -> !intern_count) }
+
+let intern_clear () =
+  Obs_sync.with_lock intern_lock (fun () ->
+      Hashtbl.reset intern_tbl;
+      intern_count := 0)
+
+let intern_enabled () = Obs_sync.with_lock intern_lock (fun () -> !intern_on)
+
+let set_intern_enabled b =
+  Obs_sync.with_lock intern_lock (fun () ->
+      if !intern_on <> b then begin
+        intern_on := b;
+        Hashtbl.reset intern_tbl;
+        intern_count := 0
+      end)
+
+let intern segs =
+  let h = hash_segs segs in
+  Obs_sync.with_lock intern_lock (fun () ->
+      let fresh () =
+        let uid = !next_uid in
+        Stdlib.incr next_uid;
+        { segs; uid; hash = h }
+      in
+      if not !intern_on then fresh ()
+      else begin
+        let bucket = Option.value ~default:[] (Hashtbl.find_opt intern_tbl h) in
+        match List.find_opt (fun v -> segs_equal_bits v.segs segs) bucket with
+        | Some v ->
+            Metrics.incr c_intern_hit;
+            v
+        | None ->
+            Metrics.incr c_intern_miss;
+            if !intern_count >= intern_cap then begin
+              Hashtbl.reset intern_tbl;
+              intern_count := 0
+            end;
+            let v = fresh () in
+            Hashtbl.replace intern_tbl h
+              (v :: Option.value ~default:[] (Hashtbl.find_opt intern_tbl h));
+            Stdlib.incr intern_count;
+            if Prof.enabled () then
+              Metrics.observe d_intern_size (float_of_int !intern_count);
+            v
+      end)
+
+let uid f = f.uid
+let content_hash f = f.hash
+
 let make triples =
   if triples = [] then invalid_arg "Pwl.make: empty segment list";
   Prof.count c_make;
@@ -59,7 +172,7 @@ let make triples =
   let segs = normalize segs in
   if Prof.enabled () then
     Metrics.observe d_breakpoints (float_of_int (Array.length segs));
-  { segs }
+  intern segs
 
 let zero = make [ (0., 0., 0.) ]
 let constant c = make [ (0., c, 0.) ]
@@ -297,9 +410,20 @@ let pointwise_exact op_val op_slope f g =
        (fun x -> (x, op_val (eval f x) (eval g x), op_slope (slope_at f x) (slope_at g x)))
        (merged_breakpoints f g))
 
-let add f g = pointwise_exact ( +. ) ( +. ) f g
+(* Physical-equality fast paths: interning makes identity checks
+   meaningful (equal content constructed anywhere is one value), so the
+   neutral-element and idempotent cases skip the merged-breakpoint
+   rebuild entirely.  [f + zero] rebuilt pointwise yields the same
+   floats as [f] ([y +. 0. = y] for the finite values stored here), so
+   the fast path is indistinguishable from the slow one. *)
+let add f g =
+  if f == zero then g
+  else if g == zero then f
+  else pointwise_exact ( +. ) ( +. ) f g
+
 let sum = function [] -> zero | f :: rest -> List.fold_left add f rest
-let sub f g = pointwise_exact ( -. ) ( -. ) f g
+
+let sub f g = if g == zero then f else pointwise_exact ( -. ) ( -. ) f g
 
 let scale k f =
   make (List.map (fun (x, y, s) -> (x, k *. y, k *. s)) (segments f))
@@ -341,8 +465,8 @@ let combine_extrema pick pick_slope f g =
          (x, pick yf yg, slope))
        candidates)
 
-let min_pw f g = combine_extrema Float.min Float.min f g
-let max_pw f g = combine_extrema Float.max Float.max f g
+let min_pw f g = if f == g then f else combine_extrema Float.min Float.min f g
+let max_pw f g = if f == g then f else combine_extrema Float.max Float.max f g
 let nonneg f = max_pw f zero
 
 let min_list = function
@@ -650,6 +774,8 @@ let first_crossing_under f ~below =
   scan candidates
 
 let equal f g =
+  if f == g then true
+  else
   let open Float_ops in
   let candidates = merged_breakpoints f g in
   let mids =
@@ -661,3 +787,150 @@ let equal f g =
     between candidates
   in
   List.for_all (fun t -> eval f t =~ eval g t) (candidates @ mids)
+
+(* ------------------------------------------------------------------ *)
+(* Conservative compaction                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [compact] prunes breakpoints while moving the curve in one safe
+   direction only: [`Up] never decreases any value (valid for arrival
+   envelopes — the bound can only loosen), [`Down] never increases any
+   value (valid for service curves).  One step removes one interior
+   segment [i] by extending its neighbours [p] and [q] to their
+   crossing [xc]: on a (locally) concave stretch the curve is the min
+   of its segment lines and dropping line [i] yields a pointwise-[>=]
+   curve; on a convex stretch it is the max of its lines, dual.  A
+   removal is admissible only when both neighbour lines dominate (are
+   dominated by) segment [i] over its span and the crossing falls
+   inside that span, so the result is exact outside the span and moves
+   by at most the recorded error inside it.  Errors are always measured
+   against the {e original} curve, so successive removals cannot
+   silently compound past [eps].
+
+   The first and last segments are never touched: the value at 0 and
+   the final slope (stability, asymptotic rate) are preserved exactly.
+   Segments are removed cheapest-first while the error stays within
+   [eps]; when the curve still has more than [max_segs] segments,
+   removal continues past [eps] (still direction-safe, never
+   direction-violating) until the budget is met or no admissible
+   removal remains. *)
+let compact ~dir ~eps ~max_segs f =
+  if Float.is_nan eps || eps < 0. then invalid_arg "Pwl.compact: eps < 0";
+  if max_segs < 2 then invalid_arg "Pwl.compact: max_segs < 2";
+  let n = Array.length f.segs in
+  if n <= 2 then f
+  else begin
+    let sx = Array.map (fun s -> s.x) f.segs in
+    let sy = Array.map (fun s -> s.y) f.segs in
+    let ss = Array.map (fun s -> s.slope) f.segs in
+    let prev = Array.init n (fun i -> i - 1) in
+    let next = Array.init n (fun i -> if i = n - 1 then -1 else i + 1) in
+    let alive = Array.make n true in
+    let count = ref n in
+    (* Line through segment j, evaluated at t. *)
+    let line j t = sy.(j) +. (ss.(j) *. (t -. sx.(j))) in
+    let orig_bps = breakpoints f in
+    (* Signed gap in the safe direction: >= 0 when the candidate stays
+       on the safe side of the original curve at t. *)
+    let gap newv origv =
+      match dir with `Up -> newv -. origv | `Down -> origv -. newv
+    in
+    (* Evaluate one candidate removal: segment [i] with alive
+       neighbours [p] and [q].  Returns [Some (err, xc)] when
+       admissible. *)
+    let candidate i =
+      let p = prev.(i) and q = next.(i) in
+      if p < 0 || q < 0 then None
+      else begin
+        let ds = ss.(p) -. ss.(q) in
+        let directed = match dir with `Up -> ds > 0. | `Down -> ds < 0. in
+        if not directed then None
+        else
+          let xc =
+            (sy.(q) -. (ss.(q) *. sx.(q)) -. sy.(p) +. (ss.(p) *. sx.(p))) /. ds
+          in
+          if not (Float.is_finite xc) || xc < sx.(i) || xc > sx.(q) then None
+          else begin
+            (* Both neighbour lines must stay on the safe side of
+               segment [i] over its whole span (affine vs affine: the
+               endpoints decide). *)
+            let span_lo = sx.(i) and span_hi = sx.(q) in
+            let tol = -1e-12 *. Float.max 1. (Float.abs sy.(i)) in
+            let safe j =
+              gap (line j span_lo) (line i span_lo) >= tol
+              && gap (line j span_hi) (line i span_hi) >= tol
+            in
+            if not (safe p && safe q) then None
+            else begin
+              (* Error against the original curve over the changed
+                 window [span_lo, span_hi): the new curve is line [p]
+                 before [xc] and line [q] after. *)
+              let newv t = if t < xc then line p t else line q t in
+              let err = ref 0. in
+              let consider t =
+                if t >= span_lo && t <= span_hi then begin
+                  err := Float.max !err (gap (newv t) (eval f t));
+                  err := Float.max !err (gap (newv t) (eval_left f t))
+                end
+              in
+              consider span_lo;
+              consider xc;
+              consider span_hi;
+              List.iter consider orig_bps;
+              (* A negative gap anywhere would mean the removal crosses
+                 the original curve — inadmissible (can happen when the
+                 window spans previously-merged material). *)
+              let crosses =
+                List.exists
+                  (fun t ->
+                    t >= span_lo && t <= span_hi
+                    && gap (newv t) (eval f t) < tol)
+                  (span_lo :: xc :: span_hi :: orig_bps)
+              in
+              if crosses then None else Some (!err, xc)
+            end
+          end
+      end
+    in
+    let remove i xc =
+      let q = next.(i) in
+      sy.(q) <- line q xc;
+      sx.(q) <- xc;
+      alive.(i) <- false;
+      next.(prev.(i)) <- q;
+      prev.(q) <- prev.(i);
+      Stdlib.decr count
+    in
+    let removed = ref false in
+    let rec loop () =
+      let best = ref None in
+      for i = 1 to n - 2 do
+        if alive.(i) then
+          match candidate i with
+          | Some (err, xc) -> (
+              match !best with
+              | Some (e, _, _) when e <= err -> ()
+              | _ -> best := Some (err, i, xc))
+          | None -> ()
+      done;
+      match !best with
+      | Some (err, i, xc) when err <= eps || !count > max_segs ->
+          remove i xc;
+          removed := true;
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    if not !removed then f
+    else begin
+      let out = ref [] in
+      let rec walk i =
+        if i >= 0 then begin
+          out := (sx.(i), sy.(i), ss.(i)) :: !out;
+          walk next.(i)
+        end
+      in
+      walk 0;
+      make (List.rev !out)
+    end
+  end

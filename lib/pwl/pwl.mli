@@ -19,6 +19,44 @@
 
 type t
 
+(** {1 Hash-consing}
+
+    Every value built by {!make} (hence by every operation) is interned
+    in a process-global table keyed on the exact bit pattern of its
+    normalized segments: two structurally identical curves constructed
+    anywhere are one physical value.  This gives O(1) content keys for
+    the operation caches ({!Minplus}, the incremental sweep engine) via
+    {!uid}, and physical-equality fast paths in {!equal}, {!add},
+    {!min_pw} and friends.  The table is bounded (wholesale reset past
+    a cap, like the [Minplus] cache); after a reset equal curves get
+    fresh uids, so uid-keyed caches miss and recompute identical values
+    — correctness never depends on the cap. *)
+
+val uid : t -> int
+(** Unique id of this interned value.  Never reused within a process;
+    [uid f = uid g] implies [f == g].  Not stable across runs or intern
+    resets — a cache key, not a serialization format. *)
+
+val content_hash : t -> int
+(** Precomputed hash of the normalized segments (bit-pattern based). *)
+
+type intern_stats = { hits : int; misses : int; entries : int }
+
+val intern_stats : unit -> intern_stats
+(** Cumulative intern hits/misses since the last [Metrics.reset] and
+    the current number of live interned values.  Also published as the
+    [pwl.intern.hits] / [pwl.intern.misses] observability counters. *)
+
+val intern_clear : unit -> unit
+(** Drop every interned value (subsequent constructions re-intern). *)
+
+val intern_enabled : unit -> bool
+
+val set_intern_enabled : bool -> unit
+(** Disable/enable interning (on by default).  Toggling clears the
+    table.  With interning off every construction is fresh and
+    uid-keyed caches degrade to always-miss; results are unchanged. *)
+
 (** {1 Construction} *)
 
 val make : (float * float * float) list -> t
@@ -167,6 +205,23 @@ val lower_convex_hull : t -> t
 (** Greatest convex minorant.  Used to turn members of the FIFO
     service-curve family (which may jump) into valid convex service
     curves without losing more than the hull requires. *)
+
+val compact : dir:[ `Up | `Down ] -> eps:float -> max_segs:int -> t -> t
+(** [compact ~dir ~eps ~max_segs f] prunes breakpoints of [f],
+    moving the curve only in the safe direction: with [`Up] the result
+    is pointwise [>= f] (sound for arrival envelopes — the bound can
+    only loosen), with [`Down] pointwise [<= f] (sound for service
+    curves).  The result stays within [eps] of [f] everywhere as long
+    as the segment budget allows; when more than [max_segs] segments
+    remain after all [<= eps] removals, pruning continues past [eps]
+    (still direction-safe) until the budget is met or no admissible
+    removal is left.  The value at 0 and the final slope are always
+    preserved exactly.  Exact removals only happen at locally concave
+    ([`Up]) / convex ([`Down]) breakpoints, which covers every curve
+    the analyses feed it (envelopes are concave, service curves
+    convex); elsewhere the function is conservative and keeps the
+    breakpoint.  @raise Invalid_argument on [eps < 0] or
+    [max_segs < 2]. *)
 
 (** {1 Suprema and crossings} *)
 

@@ -23,4 +23,5 @@ let () =
       Test_edf_allocation.suite;
       Test_determinism.suite;
       Test_par.suite;
+      Test_incremental.suite;
     ]

@@ -1,0 +1,261 @@
+(* The incremental sweep engine must be invisible except for speed:
+   memoized analyses and prefix-served sweep cells return the same bits
+   as from-scratch computation, and Pwl.compact may move a curve only
+   in its safe direction, by a bounded amount, down to a bounded
+   segment count.  These are the guarantees the bench tables and the
+   compaction Options knob rely on. *)
+
+open Testutil
+
+let with_incremental b f =
+  let prev = Incremental.enabled () in
+  Incremental.set_enabled b;
+  Fun.protect ~finally:(fun () -> Incremental.set_enabled prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Pwl.compact                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_eps = QCheck2.Gen.float_range 0.0 2.0
+let gen_budget = QCheck2.Gen.int_range 2 6
+
+let qtest_compact_budget =
+  qtest ~count:200 "compact: unlimited eps reaches the segment budget"
+    QCheck2.Gen.(pair gen_concave gen_budget)
+    (fun (f, max_segs) ->
+      let r = Pwl.compact ~dir:`Up ~eps:infinity ~max_segs f in
+      List.length (Pwl.segments r) <= max_segs)
+
+let qtest_compact_eps =
+  qtest ~count:200 "compact: within eps of the input everywhere"
+    QCheck2.Gen.(pair gen_concave gen_eps)
+    (fun (f, eps) ->
+      let r = Pwl.compact ~dir:`Up ~eps ~max_segs:1000 f in
+      (* `Up never goes below f, so the sup distance is sup (r - f). *)
+      Pwl.sup_diff r f <= eps +. (1e-9 *. (1. +. eps)))
+
+let qtest_compact_up_safe =
+  qtest ~count:200 "compact `Up: pointwise >= input (envelope-safe)"
+    QCheck2.Gen.(pair gen_concave gen_eps)
+    (fun (f, eps) ->
+      let r = Pwl.compact ~dir:`Up ~eps ~max_segs:3 f in
+      Pwl.sup_diff f r <= 1e-9
+      && Pwl.value_at_zero r = Pwl.value_at_zero f
+      && Pwl.final_slope r = Pwl.final_slope f)
+
+let qtest_compact_down_safe =
+  qtest ~count:200 "compact `Down: pointwise <= input (service-safe)"
+    QCheck2.Gen.(pair gen_convex gen_eps)
+    (fun (f, eps) ->
+      let r = Pwl.compact ~dir:`Down ~eps ~max_segs:3 f in
+      Pwl.sup_diff r f <= 1e-9
+      && Pwl.value_at_zero r = Pwl.value_at_zero f
+      && Pwl.final_slope r = Pwl.final_slope f)
+
+let test_compact_exact () =
+  (* A 4-piece concave envelope with a removable middle breakpoint. *)
+  let f =
+    Pwl.min_list
+      [
+        Pwl.affine ~y0:4. ~slope:1.;
+        Pwl.affine ~y0:5. ~slope:0.8;
+        Pwl.affine ~y0:8. ~slope:0.2;
+      ]
+  in
+  let r = Pwl.compact ~dir:`Up ~eps:infinity ~max_segs:2 f in
+  check_bool "budget met" true (List.length (Pwl.segments r) <= 2);
+  check_bool "still above" true (Pwl.sup_diff f r <= 1e-12);
+  approx "zero eps is the identity" 0.
+    (Pwl.sup_diff (Pwl.compact ~dir:`Up ~eps:0. ~max_segs:1000 f) f)
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_interning () =
+  let mk () = Pwl.make [ (0., 2., 1.5); (3., 6.5, 0.25) ] in
+  let a = mk () and b = mk () in
+  check_bool "equal content is one physical value" true (a == b);
+  Alcotest.(check int) "same uid" (Pwl.uid a) (Pwl.uid b);
+  let c = Pwl.make [ (0., 2., 1.5); (3., 6.5, 0.5) ] in
+  check_bool "distinct content, distinct uid" true (Pwl.uid c <> Pwl.uid a);
+  let s = Pwl.intern_stats () in
+  check_bool "live entries counted" true (s.Pwl.entries > 0);
+  check_bool "duplicate construction hit" true (s.Pwl.hits > 0)
+
+let test_intern_toggle () =
+  let mk () = Pwl.make [ (0., 1., 1.); (2., 3., 0.5) ] in
+  Pwl.set_intern_enabled false;
+  Fun.protect ~finally:(fun () -> Pwl.set_intern_enabled true) @@ fun () ->
+  let a = mk () and b = mk () in
+  check_bool "no sharing when disabled" true (a != b);
+  check_bool "uids still unique" true (Pwl.uid a <> Pwl.uid b);
+  check_bool "values still equal" true (Pwl.equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* Memoized analyses                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let exact_delays name want got =
+  List.iter2
+    (fun (f1, d1) (f2, d2) ->
+      Alcotest.(check int) (name ^ ": flow") f1 f2;
+      if
+        Int64.bits_of_float d1 <> Int64.bits_of_float d2
+      then Alcotest.failf "%s: flow %d: %.17g <> %.17g" name f1 d1 d2)
+    want got
+
+let test_memo_transparent () =
+  let net = (Tandem.make ~n:5 ~utilization:0.7 ()).network in
+  let run () =
+    ( Decomposed.all_flow_delays (Decomposed.analyze net),
+      Integrated.all_flow_delays
+        (Integrated.analyze ~strategy:(Pairing.Along_route 0) net) )
+  in
+  let dd_off, di_off = with_incremental false run in
+  let dd_on, di_on = with_incremental true run in
+  exact_delays "decomposed" dd_off dd_on;
+  exact_delays "integrated" di_off di_on
+
+let test_memo_reuse () =
+  with_incremental true @@ fun () ->
+  Incremental.clear ();
+  let before = (Incremental.stats ()).Incremental.reuse in
+  let net = (Tandem.make ~n:3 ~utilization:0.5 ()).network in
+  let a = Decomposed.analyze net in
+  (* Structurally identical rebuild: must be served from the memo. *)
+  let net' = (Tandem.make ~n:3 ~utilization:0.5 ()).network in
+  let b = Decomposed.analyze net' in
+  check_bool "second analysis reused" true
+    ((Incremental.stats ()).Incremental.reuse > before);
+  exact_delays "same bounds"
+    (Decomposed.all_flow_delays a)
+    (Decomposed.all_flow_delays b)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep engine: prefix reads = scratch analyses, bit for bit          *)
+(* ------------------------------------------------------------------ *)
+
+let exact_cell n u name x y =
+  if
+    Int64.bits_of_float x <> Int64.bits_of_float y
+    && not (Float.is_nan x && Float.is_nan y)
+  then Alcotest.failf "n=%d U=%g %s: %.17g <> %.17g" n u name x y
+
+let test_sweep_prefix_identity () =
+  (* Odd hop count included to exercise the per-cell fallback. *)
+  let hops = [ 2; 3; 4 ] and loads = [ 0.3; 0.6; 0.85 ] in
+  let grid b =
+    with_incremental b (fun () ->
+        Sweep_engine.tandem_grid ~hops ~loads ())
+  in
+  let on = grid true and off = grid false in
+  let cells =
+    List.concat_map (fun u -> List.map (fun n -> (u, n)) hops) loads
+  in
+  List.iter2
+    (fun (u, n) ((a : Engine.comparison), b) ->
+      exact_cell n u "decomposed" a.decomposed b.Engine.decomposed;
+      exact_cell n u "service_curve" a.service_curve b.service_curve;
+      exact_cell n u "integrated" a.integrated b.integrated;
+      exact_cell n u "fifo_theta" a.fifo_theta b.fifo_theta)
+    cells (List.combine on off)
+
+let test_sweep_saturated_load () =
+  (* U = 0.9 with sigma high enough to saturate nothing: just check the
+     grid agrees with direct compare_all at the largest prefix too. *)
+  let u = 0.9 and n = 4 in
+  let want =
+    with_incremental false (fun () ->
+        let t = Tandem.make ~n ~utilization:u ~sigma:1. ~peak:1. () in
+        Engine.compare_all ~with_theta:false
+          ~strategy:(Pairing.Along_route 0) t.network 0)
+  in
+  let got =
+    with_incremental true (fun () ->
+        match Sweep_engine.tandem_grid ~hops:[ 2; n ] ~loads:[ u ] () with
+        | [ _; c ] -> c
+        | _ -> Alcotest.fail "expected two cells")
+  in
+  exact_cell n u "decomposed" want.Engine.decomposed got.Engine.decomposed;
+  exact_cell n u "service_curve" want.service_curve got.service_curve;
+  exact_cell n u "integrated" want.integrated got.integrated
+
+(* Compaction loosens bounds only upward, and only when enabled. *)
+let test_compaction_bound_direction () =
+  let net = (Tandem.make ~n:6 ~utilization:0.8 ()).network in
+  let exact =
+    with_incremental false (fun () ->
+        Decomposed.flow_delay (Decomposed.analyze net) 0)
+  in
+  List.iter
+    (fun eps ->
+      let options = Options.with_compaction ~max_segs:8 eps Options.default in
+      let d =
+        with_incremental false (fun () ->
+            Decomposed.flow_delay (Decomposed.analyze ~options net) 0)
+      in
+      check_bool
+        (Printf.sprintf "eps=%g keeps a valid (only looser) bound" eps)
+        true
+        (d >= exact -. 1e-9);
+      check_bool
+        (Printf.sprintf "eps=%g stays within a sane factor" eps)
+        true
+        (d <= exact *. 2.))
+    [ 0.01; 0.1; 0.5 ]
+
+(* On a multi-piece concave source (where there is something to prune),
+   compaction must actually prune the propagated envelopes while the
+   bound stays valid.  The paper's token buckets have <= 3 segments, so
+   on those grids the knob is the identity — this pins the general
+   case. *)
+let test_compaction_prunes () =
+  let alpha =
+    Pwl.min_list
+      [
+        Pwl.affine ~y0:0.5 ~slope:2.;
+        Pwl.affine ~y0:1.5 ~slope:1.;
+        Pwl.affine ~y0:3. ~slope:0.5;
+        Pwl.affine ~y0:6. ~slope:0.1;
+      ]
+  in
+  let net =
+    Network.make
+      ~servers:
+        (List.init 3 (fun id -> Server.make ~id ~rate:1. ()))
+      ~flows:
+        [ Flow.make ~id:0 ~arrival:(Arrival.of_curve alpha) ~route:[ 0; 1; 2 ] () ]
+  in
+  with_incremental false @@ fun () ->
+  let exact = Decomposed.analyze net in
+  let options = Options.with_compaction ~max_segs:2 infinity Options.default in
+  let pruned = Decomposed.analyze ~options net in
+  let segs t sid =
+    List.length (Pwl.segments (Decomposed.envelope_at t ~flow:0 ~server:sid))
+  in
+  check_bool "exact propagation keeps the breakpoints" true (segs exact 1 > 2);
+  Alcotest.(check int) "compacted envelope at hop 2 hits the budget" 2
+    (segs pruned 1);
+  let d_exact = Decomposed.flow_delay exact 0 in
+  let d_pruned = Decomposed.flow_delay pruned 0 in
+  check_bool "pruned bound still a valid upper bound" true
+    (d_pruned >= d_exact -. 1e-9)
+
+let suite =
+  ( "incremental",
+    [
+      qtest_compact_budget;
+      qtest_compact_eps;
+      qtest_compact_up_safe;
+      qtest_compact_down_safe;
+      test "compact on a concrete envelope" test_compact_exact;
+      test "hash-consing interns equal curves" test_interning;
+      test "interning can be disabled" test_intern_toggle;
+      test "memoized analyses are transparent" test_memo_transparent;
+      test "structural rebuild hits the memo" test_memo_reuse;
+      test "sweep grid = scratch grid, bit for bit" test_sweep_prefix_identity;
+      test "largest prefix matches compare_all" test_sweep_saturated_load;
+      test "compaction only loosens bounds" test_compaction_bound_direction;
+      test "compaction prunes propagated envelopes" test_compaction_prunes;
+    ] )

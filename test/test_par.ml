@@ -92,6 +92,44 @@ let test_jobs_invariance () =
   let t4 = with_jobs 4 mini_fig5_table in
   Alcotest.(check string) "table identical at jobs 1 and 4" t1 t4
 
+(* The bench figures now route through the incremental sweep engine:
+   the printed table must not care whether the engine is on or off, nor
+   how many workers serve the grid — all four combinations must render
+   the same bytes. *)
+let with_incremental b f =
+  let prev = Incremental.enabled () in
+  Incremental.set_enabled b;
+  Fun.protect ~finally:(fun () -> Incremental.set_enabled prev) f
+
+let sweep_table () =
+  let hops = [ 2; 4 ] and loads = [ 0.2; 0.5; 0.8 ] in
+  let cells = Sweep_engine.tandem_grid ~hops ~loads () in
+  let tbl = Table.create ~header:[ "U"; "n"; "D_D"; "D_SC"; "D_I" ] in
+  List.iter2
+    (fun (u, n) (c : Engine.comparison) ->
+      Table.add_floats tbl
+        [ u; float_of_int n; c.decomposed; c.service_curve; c.integrated ])
+    (List.concat_map (fun u -> List.map (fun n -> (u, n)) hops) loads)
+    cells;
+  Table.to_string tbl
+
+let test_sweep_engine_invariance () =
+  let variants =
+    [
+      ("incremental jobs=1", fun () -> with_incremental true (fun () -> with_jobs 1 sweep_table));
+      ("incremental jobs=4", fun () -> with_incremental true (fun () -> with_jobs 4 sweep_table));
+      ("scratch jobs=1", fun () -> with_incremental false (fun () -> with_jobs 1 sweep_table));
+      ("scratch jobs=4", fun () -> with_incremental false (fun () -> with_jobs 4 sweep_table));
+    ]
+  in
+  match List.map (fun (name, f) -> (name, f ())) variants with
+  | [] -> ()
+  | (_, want) :: rest ->
+      List.iter
+        (fun (name, got) ->
+          Alcotest.(check string) ("table identical: " ^ name) want got)
+        rest
+
 let test_compare_all_invariance () =
   let net = (Tandem.make ~n:4 ~utilization:0.7 ()).network in
   let run () =
@@ -214,6 +252,8 @@ let suite =
       test "exception propagation" test_exception_propagation;
       test "nested maps" test_nested;
       test "table byte-identical across jobs" test_jobs_invariance;
+      test "sweep engine invariant across jobs and on/off"
+        test_sweep_engine_invariance;
       test "compare_all identical across jobs" test_compare_all_invariance;
       test "fixed point identical across jobs" test_fixed_point_invariance;
       test "obs safe under concurrent recording" test_obs_concurrent;
