@@ -70,5 +70,7 @@ let compare_all ?options ?strategy ?(with_theta = true) net flow =
   | _ -> assert false
 
 let relative_improvement dx dy =
-  if not (Float.is_finite dx) || not (Float.is_finite dy) || dx = 0. then nan
+  if not (Float.is_finite dx) || not (Float.is_finite dy)
+     || Float_ops.eq_exact dx 0.
+  then nan
   else (dx -. dy) /. dx

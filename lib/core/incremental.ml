@@ -81,14 +81,20 @@ let memoize t key compute =
         v
 
 let enabled () = Obs_sync.with_lock lock (fun () -> !on)
-let clear_locked () = List.iter (fun f -> f ()) !clearers
-let clear () = Obs_sync.with_lock lock clear_locked
+
+(* [clearers] is read under the lock in both paths below (a shared
+   helper reading it outside any visible [with_lock] is exactly what
+   netcalc-lint's race-global rule rejects).  The registered closures
+   only touch their own table, so running them while holding [lock]
+   cannot re-enter it. *)
+let clear () =
+  Obs_sync.with_lock lock (fun () -> List.iter (fun f -> f ()) !clearers)
 
 let set_enabled b =
   Obs_sync.with_lock lock (fun () ->
       if !on <> b then begin
         on := b;
-        clear_locked ()
+        List.iter (fun f -> f ()) !clearers
       end)
 
 type stats = { reuse : int; recompute : int; entries : int }

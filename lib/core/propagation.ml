@@ -31,9 +31,16 @@ let aggregate_input ?(options = Options.default) net table ~server ~flows =
         let cur = try Hashtbl.find groups key with Not_found -> [] in
         Hashtbl.replace groups key (env f :: cur))
       flows;
-    Hashtbl.fold
-      (fun key envs acc ->
-        let group_env = Pwl.sum envs in
+    (* Sum the groups in sorted-key order: hash-table iteration order
+       is unspecified, and float addition is not associative, so
+       folding in table order would make the result depend on it. *)
+    let keys =
+      Hashtbl.fold (fun key _ acc -> key :: acc) groups []
+      |> List.sort_uniq (Option.compare Int.compare)
+    in
+    List.fold_left
+      (fun acc key ->
+        let group_env = Pwl.sum (Hashtbl.find groups key) in
         let capped =
           match key with
           | None -> group_env
@@ -42,7 +49,7 @@ let aggregate_input ?(options = Options.default) net table ~server ~flows =
               Pwl.min_pw (Pwl.affine ~y0:0. ~slope:rate) group_env
         in
         Pwl.add acc capped)
-      groups Pwl.zero
+      Pwl.zero keys
   end
 
 let total_rate flows = List.fold_left (fun acc f -> acc +. Flow.rate f) 0. flows

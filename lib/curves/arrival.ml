@@ -64,7 +64,8 @@ let sum = function
   | [] -> of_curve Pwl.zero
   | a :: rest -> List.fold_left add a rest
 
-let shift a d = if d = 0. then a else of_curve (Pwl.shift_left a.curve d)
+let shift a d =
+  if Float_ops.eq_exact d 0. then a else of_curve (Pwl.shift_left a.curve d)
 
 let cap_rate a ~rate =
   of_curve (Pwl.min_pw (Pwl.affine ~y0:0. ~slope:rate) a.curve)

@@ -14,7 +14,7 @@ let leftover ~rate ~cross =
 
 let fifo_theta ~rate ~cross ~theta =
   if theta < 0. then invalid_arg "Service.fifo_theta: negative theta";
-  if theta = 0. then leftover ~rate ~cross
+  if Float_ops.eq_exact theta 0. then leftover ~rate ~cross
   else
     let shifted_cross = Pwl.shift_right cross theta in
     let member = Pwl.nonneg (Pwl.sub (constant_rate rate) shifted_cross) in
@@ -37,5 +37,5 @@ let fifo_theta ~rate ~cross ~theta =
 
 let is_service_curve beta =
   Pwl.is_nondecreasing beta
-  && Pwl.value_at_zero beta = 0.
+  && Float_ops.eq_exact (Pwl.value_at_zero beta) 0.
   && match Pwl.shape beta with `Convex | `Affine -> true | _ -> false

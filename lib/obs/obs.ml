@@ -3,6 +3,9 @@ let on =
     (match Sys.getenv_opt "NETCALC_OBS" with
     | Some ("1" | "true" | "yes") -> true
     | Some _ | None -> false)
+[@@lint.domain_safe
+  "single boolean toggled from the main domain before parallel regions; a \
+   stale read only delays when recording starts, never corrupts state"]
 
 let enabled () = !on
 let enable () = on := true

@@ -40,7 +40,7 @@ let clear () =
      during clear is a caller bug). *)
   Obs_sync.get_local stack := []
 
-let capacity () = !cap
+let capacity () = Obs_sync.with_lock m (fun () -> !cap)
 
 let set_capacity n =
   if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";

@@ -15,6 +15,10 @@ let env_jobs =
         | Some _ | None -> None))
 
 let override = ref None
+[@@lint.domain_safe
+  "written by set_jobs/clear_jobs from the main domain during setup, before \
+   any parallel region runs; workers never touch it (netcalc.par depends on \
+   nothing, so Obs_sync is unavailable here)"]
 
 let set_jobs n =
   if n < 1 then invalid_arg "Par.set_jobs: jobs must be >= 1";

@@ -42,7 +42,14 @@ let cache_lock = Obs_sync.create ()
 let cache_cap = 4096
 let cache_on = ref true
 let conv_cache : Pwl.t Cache_tbl.t = Cache_tbl.create 256
+[@@lint.domain_safe
+  "only passed by reference into [cached], which performs every table \
+   operation under cache_lock"]
+
 let deconv_cache : Pwl.t Cache_tbl.t = Cache_tbl.create 256
+[@@lint.domain_safe
+  "only passed by reference into [cached], which performs every table \
+   operation under cache_lock"]
 
 (* Hit/miss counters are recorded unconditionally (not Prof-guarded):
    they cost one mutex round-trip next to a kernel call that costs far
@@ -110,7 +117,7 @@ let conv_convex f g =
   let finite_pieces =
     pieces f @ pieces g
     |> List.filter (fun (s, len) -> Float.is_finite len && s < final)
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
   in
   let y0 = Pwl.value_at_zero f +. Pwl.value_at_zero g in
   let rec build x y = function

@@ -149,6 +149,38 @@ let intern segs =
 let uid f = f.uid
 let content_hash f = f.hash
 
+(* Blessed comparison API (the lint rule pwl-poly-eq points here).
+   Polymorphic compare/hash on [t] would traverse the segment arrays
+   and, worse, hash the [uid] field — two structurally equal curves
+   built across an intern reset would then compare unequal or hash
+   apart.  [hash] is the precomputed segment-content hash; [compare]
+   is a total order on the normalized segment bit patterns: arbitrary
+   but fixed, consistent with [hash], and independent of uids, so it
+   also works with interning disabled.  Note the asymmetry with
+   {!equal}, which is tolerant and pointwise: [compare f g = 0] is
+   bit-exact structural identity, strictly finer than [equal]. *)
+let hash = content_hash
+
+let compare f g =
+  if f == g then 0
+  else
+    let bits = Int64.bits_of_float in
+    let cmp_seg a b =
+      match Int64.compare (bits a.x) (bits b.x) with
+      | 0 -> (
+          match Int64.compare (bits a.y) (bits b.y) with
+          | 0 -> Int64.compare (bits a.slope) (bits b.slope)
+          | c -> c)
+      | c -> c
+    in
+    let na = Array.length f.segs and nb = Array.length g.segs in
+    let rec go i =
+      if i >= na then if i >= nb then 0 else -1
+      else if i >= nb then 1
+      else match cmp_seg f.segs.(i) g.segs.(i) with 0 -> go (i + 1) | c -> c
+    in
+    go 0
+
 let make triples =
   if triples = [] then invalid_arg "Pwl.make: empty segment list";
   Prof.count c_make;
@@ -160,7 +192,8 @@ let make triples =
       check_finite s.slope "slope")
     segs;
   (match segs with
-  | first :: _ when first.x <> 0. -> invalid_arg "Pwl.make: first x must be 0."
+  | first :: _ when not (Float_ops.eq_exact first.x 0.) ->
+      invalid_arg "Pwl.make: first x must be 0."
   | _ -> ());
   let rec check_increasing = function
     | a :: (b :: _ as rest) ->
@@ -397,7 +430,7 @@ let of_sampler ?eval_seq:batch ~candidates ~eval:sample () =
 (* ------------------------------------------------------------------ *)
 
 let merged_breakpoints f g =
-  List.sort_uniq compare (breakpoints f @ breakpoints g)
+  List.sort_uniq Float.compare (breakpoints f @ breakpoints g)
 
 (* Right slope at t: the slope of the segment containing t. *)
 let slope_at f t = f.segs.(seg_index f t).slope
@@ -434,7 +467,7 @@ let crossings f g candidates =
   let cross a b =
     let h = eval f a -. eval g a in
     let sh = slope_at f a -. slope_at g a in
-    if sh = 0. then None
+    if Float_ops.eq_exact sh 0. then None
     else
       let t = a -. (h /. sh) in
       if t > a +. (1e-12 *. Float.max 1. (Float.abs a)) && t < b then Some t
@@ -452,7 +485,7 @@ let crossings f g candidates =
 let combine_extrema pick pick_slope f g =
   let open Float_ops in
   let base = merged_breakpoints f g in
-  let candidates = List.sort_uniq compare (base @ crossings f g base) in
+  let candidates = List.sort_uniq Float.compare (base @ crossings f g base) in
   make
     (List.map
        (fun x ->
@@ -479,7 +512,7 @@ let min_list = function
 
 let shift_left f d =
   if d < 0. then invalid_arg "Pwl.shift_left: negative shift";
-  if d = 0. then f
+  if Float_ops.eq_exact d 0. then f
   else
     (* Exact: drop the segments entirely left of d, split the one
        containing d, translate the rest. *)
@@ -494,7 +527,7 @@ let shift_left f d =
 
 let shift_right f d =
   if d < 0. then invalid_arg "Pwl.shift_right: negative shift";
-  if d = 0. then f
+  if Float_ops.eq_exact d 0. then f
   else
     let shifted = List.map (fun (x, y, s) -> (x +. d, y, s)) (segments f) in
     make ((0., 0., 0.) :: shifted)
@@ -749,7 +782,7 @@ let first_crossing_under f ~below =
      by probing the midpoint to the next candidate. *)
   let base = merged_breakpoints f below in
   let candidates =
-    List.sort compare (base @ crossings f below base)
+    List.sort Float.compare (base @ crossings f below base)
     |> List.filter (fun t -> t >= 0.)
   in
   let h t = eval f t -. eval below t in

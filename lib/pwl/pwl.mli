@@ -144,6 +144,24 @@ val equal : t -> t -> bool
 (** Pointwise equality up to the {!Float_ops.eps}
     tolerance. *)
 
+val compare : t -> t -> int
+(** Total order on curves: physical-equality fast path (interning makes
+    it meaningful), then lexicographic on the bit patterns of the
+    normalized segments.  Arbitrary but fixed within and across runs,
+    independent of intern uids, and usable with interning off — the
+    right argument for [Map.Make]/[Set.Make] and sorts.  Bit-exact:
+    [compare f g = 0] is strictly finer than the tolerant {!equal}.
+
+    This, {!equal} and {!hash} are the blessed comparison API enforced
+    by the [pwl-poly-eq] lint rule: polymorphic [=] / [compare] /
+    [Hashtbl.hash] on [t] would traverse segment arrays and mix in the
+    intern uid, making equal curves built across an intern reset
+    compare unequal. *)
+
+val hash : t -> int
+(** [hash = content_hash]: the precomputed segment-content hash,
+    consistent with {!compare} (and with interning off). *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string

@@ -18,7 +18,7 @@ let greedy ?(phase = 0.) (f : Flow.t) =
   let env =
     Pwl.min_pw (Pwl.affine ~y0:0. ~slope:burst_peak) (Flow.source_curve f)
   in
-  if phase = 0. then env else Pwl.shift_right env phase
+  if Float_ops.eq_exact phase 0. then env else Pwl.shift_right env phase
 
 let run ?(inputs = []) net =
   let order = Network.topological_order net in

@@ -8,6 +8,7 @@ let ( =~ ) a b =
     let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
     Float.abs (a -. b) <= eps *. scale
 
+let eq_exact (a : float) b = a = b [@@inline]
 let ( <~ ) a b = a < b && not (a =~ b)
 let ( <=~ ) a b = a < b || a =~ b
 let is_finite = Float.is_finite

@@ -13,6 +13,13 @@ val ( =~ ) : float -> float -> bool
     absolute/relative tolerance of {!eps}.  Both infinities compare equal
     to themselves. *)
 
+val eq_exact : float -> float -> bool
+(** IEEE bit-for-bit [=] spelled out.  The blessed escape hatch for the
+    [float-eq] lint rule: use it where exact equality is the point — a
+    sentinel test like [d = 0.] before a fast path, or distinguishing a
+    stored value from a recomputed one — so every remaining raw [=] on
+    floats is a tolerance bug waiting to be found. *)
+
 val ( <~ ) : float -> float -> bool
 (** [a <~ b] is [a < b] and not [a =~ b]: strictly less, beyond tolerance. *)
 

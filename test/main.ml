@@ -24,4 +24,5 @@ let () =
       Test_determinism.suite;
       Test_par.suite;
       Test_incremental.suite;
+      Test_lint.suite;
     ]

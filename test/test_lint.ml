@@ -1,0 +1,118 @@
+(* Self-tests for netcalc-lint (tools/lint): run the built analyzer as
+   a subprocess over its fixture corpus and over the real tree.
+
+   The fixture assertions pin exact (file, rule, line) triples, so any
+   drift in a rule's detection logic — or in the fixtures — fails
+   loudly.  The real-tree check is the same invocation CI's lint gate
+   runs: the shipped lib/, bin/ and bench/ must be clean modulo the
+   checked-in (empty) baseline. *)
+
+let exe = "../tools/lint/netcalc_lint.exe"
+let lint_dir = "../tools/lint"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run cmd = Sys.command (cmd ^ " > /dev/null 2>&1")
+
+(* Every finding the fixture corpus must produce, as exact
+   (file, line, rule) triples; see tools/lint/fixtures/. *)
+let expected_fixture_findings =
+  [ ("fixtures/bench/bad_determinism.ml", 10, "unsorted-fold");
+    ("fixtures/bench/bad_determinism.ml", 11, "unsorted-fold");
+    ("fixtures/lib/bad_float.ml", 7, "float-eq");
+    ("fixtures/lib/bad_float.ml", 8, "float-eq");
+    ("fixtures/lib/bad_float.ml", 9, "float-eq");
+    ("fixtures/lib/bad_forbidden.ml", 4, "forbidden-prim");
+    ("fixtures/lib/bad_forbidden.ml", 5, "forbidden-prim");
+    ("fixtures/lib/bad_forbidden.ml", 6, "forbidden-prim");
+    ("fixtures/lib/bad_forbidden.ml", 9, "forbidden-prim");
+    ("fixtures/lib/bad_forbidden.ml", 10, "forbidden-prim");
+    ("fixtures/lib/bad_hashcons.ml", 7, "pwl-poly-eq");
+    ("fixtures/lib/bad_hashcons.ml", 8, "pwl-poly-eq");
+    ("fixtures/lib/bad_hashcons.ml", 9, "pwl-poly-eq");
+    ("fixtures/lib/bad_hashcons.ml", 10, "pwl-poly-eq");
+    ("fixtures/lib/bad_race.ml", 8, "race-global");
+    ("fixtures/lib/bad_race.ml", 9, "race-global");
+    ("fixtures/lib/bad_race.ml", 14, "bad-waiver");
+    ("fixtures/lib/bad_race.ml", 16, "race-global")
+  ]
+
+let fixture_report () =
+  let report = Filename.concat (Sys.getcwd ()) "lint_fixture_report.json" in
+  let code =
+    run
+      (Printf.sprintf "cd %s && ./netcalc_lint.exe --json %s fixtures"
+         (Filename.quote lint_dir) (Filename.quote report))
+  in
+  (code, read_file report)
+
+let test_fixtures_flag_exactly () =
+  let code, report = fixture_report () in
+  Alcotest.(check int) "seeded violations make the exit code nonzero" 1 code;
+  let lines = String.split_on_char '\n' report in
+  let finding_lines =
+    List.filter (fun l -> contains l "\"file\": ") lines
+  in
+  Alcotest.(check int) "total findings"
+    (List.length expected_fixture_findings)
+    (List.length finding_lines);
+  List.iter
+    (fun (file, line, rule) ->
+      let loc = Printf.sprintf "{\"file\": \"%s\", \"line\": %d," file line in
+      let rul = Printf.sprintf "\"rule\": \"%s\"" rule in
+      let hit = List.exists (fun l -> contains l loc && contains l rul) lines in
+      if not hit then
+        Alcotest.failf "missing finding %s:%d [%s]" file line rule)
+    expected_fixture_findings
+
+let test_clean_fixture_is_clean () =
+  let _, report = fixture_report () in
+  Alcotest.(check bool) "clean.ml produces no finding" false
+    (contains report "clean.ml")
+
+(* The ratchet: baselining the corpus turns exit 1 into exit 0, and a
+   stale baseline does not hide anything new. *)
+let test_baseline_ratchet () =
+  let base = Filename.concat (Sys.getcwd ()) "lint_fixture_baseline.json" in
+  let update =
+    run
+      (Printf.sprintf
+         "cd %s && ./netcalc_lint.exe --baseline %s --update-baseline fixtures"
+         (Filename.quote lint_dir) (Filename.quote base))
+  in
+  Alcotest.(check int) "update-baseline exits 0" 0 update;
+  let again =
+    run
+      (Printf.sprintf "cd %s && ./netcalc_lint.exe --baseline %s fixtures"
+         (Filename.quote lint_dir) (Filename.quote base))
+  in
+  Alcotest.(check int) "baselined corpus exits 0" 0 again
+
+let test_real_tree_clean () =
+  let code =
+    run
+      (Printf.sprintf
+         "cd .. && tools/lint/netcalc_lint.exe --baseline \
+          tools/lint/baseline.json lib bin bench")
+  in
+  Alcotest.(check int) "lib/ bin/ bench/ clean modulo baseline" 0 code
+
+let test name f = Alcotest.test_case name `Quick f
+
+let suite =
+  ( "lint",
+    [
+      test "fixtures: exact rule ids and lines" test_fixtures_flag_exactly;
+      test "fixtures: clean file stays clean" test_clean_fixture_is_clean;
+      test "baseline ratchet silences, then holds" test_baseline_ratchet;
+      test "real tree clean modulo baseline" test_real_tree_clean;
+    ] )

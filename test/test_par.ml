@@ -243,6 +243,43 @@ let qtest_eval_seq =
       Array.for_all2 (fun t v -> v = Pwl.eval f t) ts vs
       && Array.for_all2 (fun t v -> v = Pwl.eval_left f t) ts vls)
 
+(* The Incremental registry (clearers/sizers lists, the [on] flag) and
+   each analysis memo table are shared across netcalc.par domains: a
+   storm of memoize calls racing concurrent clears must only ever cause
+   recomputation, never a wrong value, a lost registration, or a crash.
+   On 4.14 Par degrades to sequential and this pins the same
+   contract. *)
+let test_incremental_concurrent_clear () =
+  let t = Incremental.table () in
+  let net = (Tandem.make ~n:2 ~utilization:0.5 ()).network in
+  (* 64 distinct structural keys from one network: the sp_blocking
+     option enters the fingerprint. *)
+  let keys =
+    Array.init 64 (fun i ->
+        Incremental.net_key
+          ~options:(Options.with_blocking (float_of_int i) Options.default)
+          net)
+  in
+  let results =
+    with_jobs 4 (fun () ->
+        Par.map
+          (fun i ->
+            if i mod 16 = 0 then begin
+              Incremental.clear ();
+              -1
+            end
+            else Incremental.memoize t keys.(i mod 64) (fun () -> i mod 64))
+          (List.init 256 Fun.id))
+  in
+  List.iteri
+    (fun i v ->
+      if i mod 16 <> 0 then
+        Alcotest.(check int) (Printf.sprintf "memoize i=%d" i) (i mod 64) v)
+    results;
+  (* The table survived the clears and is still functional. *)
+  Alcotest.(check int) "post-storm memoize" 7
+    (Incremental.memoize t keys.(0) (fun () -> 7))
+
 let suite =
   ( "par",
     [
@@ -257,6 +294,8 @@ let suite =
       test "compare_all identical across jobs" test_compare_all_invariance;
       test "fixed point identical across jobs" test_fixed_point_invariance;
       test "obs safe under concurrent recording" test_obs_concurrent;
+      test "incremental memoize races clear (4 domains)"
+        test_incremental_concurrent_clear;
       qtest_cache_conv;
       qtest_cache_deconv;
       test "repeated deconv hits the cache" test_cache_hits;

@@ -1,0 +1,18 @@
+(* Fixture for the unsorted-fold rule: hash-table iteration feeding
+   output with no intervening sort.  Lives under a bench/ segment on
+   purpose: printing is legal there (so forbidden-prim stays quiet) and
+   the race rule only applies to lib/ — this file isolates the
+   determinism rule.  Never compiled — only parsed by netcalc-lint's
+   self-tests. *)
+
+let tbl : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let print_all () = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl
+let rows () = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+(* Sorted variants are not flagged. *)
+let rows_sorted () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let rows_sorted2 () =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

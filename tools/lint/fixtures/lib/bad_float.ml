@@ -1,0 +1,13 @@
+(* Fixture for the float-eq rule: raw (=) / (<>) on float literals or
+   float-annotated expressions (only lib/util/float_ops.ml may spell
+   these out).  Never compiled — only parsed by netcalc-lint's
+   self-tests. *)
+
+let x = 1.5
+let lit_eq = x = 1.5
+let lit_ne = 0.1 +. 0.2 <> 0.3
+let annotated y = (y : float) = x
+
+(* The blessed comparisons are not flagged. *)
+let ok = Float_ops.( =~ ) x 1.5
+let ok_exact = Float_ops.eq_exact x 1.5

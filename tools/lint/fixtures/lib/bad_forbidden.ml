@@ -1,0 +1,10 @@
+(* Fixture for the forbidden-prim rule.  Never compiled — only parsed
+   by netcalc-lint's self-tests. *)
+
+let t0 = Sys.time ()
+let () = Random.self_init ()
+let cast (x : int) : float = Obj.magic x
+
+(* Printing is forbidden in lib/ specifically. *)
+let shout () = print_string "hello"
+let shout2 n = Printf.printf "%d\n" n

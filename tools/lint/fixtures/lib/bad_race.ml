@@ -1,0 +1,16 @@
+(* Fixture for the race-global rule: top-level mutable state accessed
+   outside Obs_sync.with_lock.  Never compiled — only parsed by
+   netcalc-lint's self-tests, which pin the exact lines flagged. *)
+
+let lock = Obs_sync.create ()
+let hits = ref 0
+let table : (int, string) Hashtbl.t = Hashtbl.create 16
+let record n = hits := !hits + n
+let lookup k = Hashtbl.find_opt table k
+let guarded () = Obs_sync.with_lock lock (fun () -> !hits)
+
+(* A waiver without a reason string is itself a finding and does not
+   silence the rule. *)
+let bad = ref 0 [@@lint.domain_safe]
+
+let poke () = bad := 1

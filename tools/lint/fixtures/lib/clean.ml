@@ -1,0 +1,15 @@
+(* Fixture: a file every rule is happy with.  The self-test asserts
+   netcalc-lint reports nothing here.  Never compiled — only parsed. *)
+
+let lock = Obs_sync.create ()
+
+let counter = ref 0
+[@@lint.domain_safe "fixture: registered from a single domain at startup"]
+
+let bump () = counter := !counter + 1
+let guarded = ref 0
+let read () = Obs_sync.with_lock lock (fun () -> !guarded)
+let write n = Obs_sync.with_lock lock (fun () -> guarded := n)
+let close a b = Float_ops.( =~ ) a b
+let same f g = Pwl.equal f g
+let order f g = Pwl.compare f g
