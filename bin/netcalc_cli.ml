@@ -9,7 +9,9 @@
      analyze   analyze a scenario file (with optional full report)
      ring      fixed-point analysis of a cyclic ring
      sp        static-priority tandem (the Sec. 5 extension)
-     dot       emit the routing graph of a tandem in Graphviz format *)
+     dot       emit the routing graph of a tandem in Graphviz format
+     admit     batch admission control over a scenario file
+     serve     online admission-control service (NDJSON line protocol) *)
 
 open Cmdliner
 
@@ -361,13 +363,141 @@ let dot_cmd =
   ("dot", "Emit the tandem's routing graph as Graphviz",
    Term.(const run $ hops_arg $ util_arg))
 
+let method_choices =
+  [
+    ("decomposed", Engine.Decomposed);
+    ("service-curve", Engine.Service_curve);
+    ("integrated", Engine.Integrated);
+    ("integrated-sp", Engine.Integrated_sp);
+    ("fifo-theta", Engine.Fifo_theta);
+  ]
+
+let load_scenario file =
+  try Scenario.load file
+  with Scenario.Parse_error (line, msg) ->
+    Printf.eprintf "%s:%d: %s\n" file line msg;
+    exit 1
+
+let admit_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Scenario file.  Flows carrying a deadline are the admission \
+                 candidates (tested in file order); the rest are the standing \
+                 population.")
+  in
+  let method_arg =
+    Arg.(value & opt (enum method_choices) Engine.Decomposed
+         & info [ "method" ] ~docv:"M"
+             ~doc:"Analysis method backing the admission test, one of \
+                   $(b,decomposed), $(b,service-curve), $(b,integrated), \
+                   $(b,integrated-sp), $(b,fifo-theta).")
+  in
+  let run file method_ link_cap () =
+    let net = load_scenario file in
+    let options = options_of link_cap in
+    let servers = Network.servers net in
+    let all = Network.flows net in
+    let base = List.filter (fun (f : Flow.t) -> f.deadline = None) all in
+    let candidates = List.filter (fun (f : Flow.t) -> f.deadline <> None) all in
+    let outcome = Admission.run ~options ~servers ~base ~candidates ~method_ () in
+    let bounds =
+      Admission.bounds_for ~options ~servers (base @ outcome.admitted) method_
+    in
+    let rejected_reason (c : Flow.t) =
+      List.find_opt (fun ((f : Flow.t), _) -> f.id = c.id) outcome.rejections
+    in
+    let tbl =
+      Table.create
+        ~header:[ "candidate"; "deadline"; "verdict"; "bound"; "reason" ]
+    in
+    List.iter
+      (fun (c : Flow.t) ->
+        let deadline =
+          match c.deadline with Some d -> Table.float_cell d | None -> "-"
+        in
+        match rejected_reason c with
+        | Some (_, reason) ->
+            Table.add_row tbl
+              [ c.name; deadline; "rejected"; "-";
+                Admission.reason_to_string reason ]
+        | None ->
+            Table.add_row tbl
+              [ c.name; deadline; "admitted";
+                Table.float_cell (List.assoc c.id bounds); "-" ])
+      candidates;
+    Printf.printf
+      "Admission control (%s): %d candidate(s), %d admitted, %d rejected, \
+       admitted rate %g\n\n"
+      (Engine.method_name method_) (List.length candidates)
+      (List.length outcome.admitted) (List.length outcome.rejected)
+      outcome.admitted_rate;
+    Table.print tbl
+  in
+  ("admit", "Batch admission control over a scenario's deadline-bearing flows",
+   Term.(const run $ file_arg $ method_arg $ link_cap_arg))
+
+let serve_cmd =
+  let file_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Scenario file for the initial network.  Defaults to the \
+                 paper's tandem built from --hops/--utilization/--sigma/--peak.")
+  in
+  let engine_choices =
+    ("delta", Serve.Delta)
+    :: List.map (fun (n, m) -> (n, Serve.Full m)) method_choices
+  in
+  let engine_arg =
+    Arg.(value & opt (enum engine_choices) Serve.Delta
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"$(b,delta) (default) re-analyzes only the affected \
+                   downstream cone per operation; a method name \
+                   ($(b,decomposed), $(b,integrated), ...) re-analyzes the \
+                   whole network per operation with that method.")
+  in
+  let stdin_arg =
+    Arg.(value & flag & info [ "stdin" ]
+           ~doc:"Serve a single session on stdin/stdout (the default \
+                 transport when no socket is requested).")
+  in
+  let unix_arg =
+    Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at PATH.")
+  in
+  let tcp_arg =
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT"
+           ~doc:"Listen on loopback TCP PORT.")
+  in
+  let clients_arg =
+    Arg.(value & opt (some int) None & info [ "clients" ] ~docv:"N"
+           ~doc:"Exit after serving N connections (socket transports only).")
+  in
+  let run file engine _stdin unix tcp clients n u sigma peak link_cap () =
+    let net =
+      match file with
+      | Some f -> load_scenario f
+      | None -> (Tandem.make ~n ~utilization:u ~sigma ~peak ()).Tandem.network
+    in
+    let t =
+      Serve.create ~options:(options_of link_cap) ~mode:engine
+        ~servers:(Network.servers net) ~flows:(Network.flows net) ()
+    in
+    match (unix, tcp) with
+    | Some path, _ -> Serve.listen_unix ?clients t ~path
+    | None, Some port -> Serve.listen_tcp ?clients t ~port
+    | None, None -> Serve.run_channels t stdin stdout
+  in
+  ("serve", "Online admission-control service over an NDJSON line protocol",
+   Term.(const run $ file_arg $ engine_arg $ stdin_arg $ unix_arg $ tcp_arg
+         $ clients_arg $ hops_arg $ util_arg $ sigma_arg $ peak_arg
+         $ link_cap_arg))
+
 (* Every subcommand is a (name, doc, thunk term) triple so that it can
    be mounted twice: bare under `netcalc`, and wrapped with
    instrumentation under `netcalc profile`. *)
 let subcommands =
   [
     tandem_cmd; sweep_cmd; simulate_cmd; random_cmd; analyze_cmd; ring_cmd;
-    fluid_cmd; sp_cmd; dot_cmd;
+    fluid_cmd; sp_cmd; dot_cmd; admit_cmd; serve_cmd;
   ]
 
 (* Worker-count option, shared by every subcommand (plain and

@@ -1,8 +1,21 @@
+type reject_reason =
+  | No_deadline
+  | Cyclic_route
+  | Deadline_violated of { flow : int; bound : float; deadline : float }
+
+type verdict =
+  | Accepted of { bounds : (int * float) list }
+  | Rejected of reject_reason
+
 type outcome = {
   admitted : Flow.t list;
   rejected : Flow.t list;
+  rejections : (Flow.t * reject_reason) list;
   admitted_rate : float;
 }
+
+let deadline_ok ~bound ~deadline =
+  Float.is_finite bound && bound <= deadline +. Float_ops.eps
 
 let deadline_met bounds flows =
   List.for_all
@@ -11,9 +24,33 @@ let deadline_met bounds flows =
       | None -> true
       | Some dl -> (
           match List.assoc_opt f.id bounds with
-          | Some b -> Float.is_finite b && b <= dl +. Float_ops.eps
+          | Some b -> deadline_ok ~bound:b ~deadline:dl
           | None -> false))
     flows
+
+(* The violation a verdict reports: the lowest-id flow whose deadline
+   the analysis cannot prove (a flow with no bound in the list counts
+   as unbounded).  Keyed by id, not list position, so the batch loop
+   and the delta engine — which discovers violations in a different
+   order — name the same culprit. *)
+let first_violation bounds flows =
+  List.filter_map
+    (fun (f : Flow.t) ->
+      match f.deadline with
+      | None -> None
+      | Some dl ->
+          let b =
+            match List.assoc_opt f.id bounds with
+            | Some b -> b
+            | None -> infinity
+          in
+          if deadline_ok ~bound:b ~deadline:dl then None else Some (f.id, b, dl))
+    flows
+  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+  |> function
+  | [] -> None
+  | (flow, bound, deadline) :: _ ->
+      Some (Deadline_violated { flow; bound; deadline })
 
 let bounds_for ?options ?strategy ~servers flows method_ =
   let net = Network.make ~servers ~flows in
@@ -30,26 +67,39 @@ let bounds_for ?options ?strategy ~servers flows method_ =
   | Engine.Fifo_theta ->
       Fifo_theta.all_flow_delays (Fifo_theta.analyze ?options net)
 
+let decide_one ?options ?strategy ~servers ~flows ~candidate ~method_ () =
+  match (candidate : Flow.t).deadline with
+  | None -> Rejected No_deadline
+  | Some _ -> (
+      let all = flows @ [ candidate ] in
+      match bounds_for ?options ?strategy ~servers all method_ with
+      | exception Network.Cyclic -> Rejected Cyclic_route
+      | bounds -> (
+          match first_violation bounds all with
+          | None -> Accepted { bounds }
+          | Some reason -> Rejected reason))
+
 let run ?options ?strategy ~servers ~base ~candidates ~method_ () =
-  let try_with flows =
-    match bounds_for ?options ?strategy ~servers flows method_ with
-    | bounds -> deadline_met bounds flows
-    | exception Network.Cyclic -> false
+  let step (admitted_rev, rejections_rev) (cand : Flow.t) =
+    let flows = base @ List.rev admitted_rev in
+    match
+      decide_one ?options ?strategy ~servers ~flows ~candidate:cand ~method_ ()
+    with
+    | Accepted _ -> (cand :: admitted_rev, rejections_rev)
+    | Rejected reason -> (admitted_rev, (cand, reason) :: rejections_rev)
   in
-  let step (admitted, rejected) (cand : Flow.t) =
-    match cand.deadline with
-    | None -> (admitted, cand :: rejected)
-    | Some _ ->
-        let flows = base @ List.rev (cand :: admitted) in
-        if try_with flows then (cand :: admitted, rejected)
-        else (admitted, cand :: rejected)
-  in
-  let admitted_rev, rejected_rev =
-    List.fold_left step ([], []) candidates
-  in
+  let admitted_rev, rejections_rev = List.fold_left step ([], []) candidates in
   let admitted = List.rev admitted_rev in
+  let rejections = List.rev rejections_rev in
   {
     admitted;
-    rejected = List.rev rejected_rev;
+    rejected = List.map fst rejections;
+    rejections;
     admitted_rate = Propagation.total_rate admitted;
   }
+
+let reason_to_string = function
+  | No_deadline -> "no deadline"
+  | Cyclic_route -> "cyclic routing"
+  | Deadline_violated { flow; bound; deadline } ->
+      Printf.sprintf "flow %d bound %g > deadline %g" flow bound deadline

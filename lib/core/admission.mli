@@ -6,13 +6,49 @@
     admitted when, with it added, the chosen analysis method still
     proves {e every} admitted connection's bound below its deadline.
     A tighter analysis admits more connections on the same plant —
-    the utilization benefit of Algorithm Integrated. *)
+    the utilization benefit of Algorithm Integrated.
+
+    {!decide_one} is the single-candidate kernel shared by the batch
+    {!run} loop and the long-lived [netcalc serve] service; {!run} is
+    exactly a fold of {!decide_one} over the candidate list (tested). *)
+
+type reject_reason =
+  | No_deadline  (** candidates without a deadline are rejected outright *)
+  | Cyclic_route  (** adding the candidate makes the routing graph cyclic *)
+  | Deadline_violated of { flow : int; bound : float; deadline : float }
+      (** admitting would break [flow]'s guarantee: its bound under the
+          chosen method exceeds its deadline (the candidate itself when
+          [flow] is the candidate's id; [bound] is [infinity] past an
+          unstable server).  When several flows would miss their
+          deadlines, the lowest id is reported. *)
+
+type verdict =
+  | Accepted of { bounds : (int * float) list }
+      (** per-flow bounds of the whole population with the candidate
+          admitted, in id order (what the analysis proved) *)
+  | Rejected of reject_reason
 
 type outcome = {
   admitted : Flow.t list;      (** in the order they were accepted *)
-  rejected : Flow.t list;
+  rejected : Flow.t list;      (** in the order they were refused *)
+  rejections : (Flow.t * reject_reason) list;
+      (** [rejected], each with the reason the analysis refused it *)
   admitted_rate : float;       (** sum of admitted long-run rates *)
 }
+
+val decide_one :
+  ?options:Options.t ->
+  ?strategy:Pairing.strategy ->
+  servers:Server.t list ->
+  flows:Flow.t list ->
+  candidate:Flow.t ->
+  method_:Engine.method_ ->
+  unit ->
+  verdict
+(** Test one candidate against the current population [flows] (the
+    candidate is appended after them, matching the batch loop's
+    network construction).  @raise Invalid_argument on duplicate flow
+    ids or a route through an unknown server. *)
 
 val run :
   ?options:Options.t ->
@@ -32,3 +68,19 @@ val run :
 val deadline_met : (int * float) list -> Flow.t list -> bool
 (** [deadline_met bounds flows]: every flow with a deadline has a
     finite bound at most its deadline. *)
+
+val bounds_for :
+  ?options:Options.t ->
+  ?strategy:Pairing.strategy ->
+  servers:Server.t list ->
+  Flow.t list ->
+  Engine.method_ ->
+  (int * float) list
+(** Per-flow end-to-end bounds of a flow population under one method,
+    in id order — the analysis primitive behind {!decide_one}, exposed
+    for services that must re-derive the full bound table (e.g. the
+    serve full-re-analysis fallback after a teardown).
+    @raise Network.Cyclic on non-feedforward routing. *)
+
+val reason_to_string : reject_reason -> string
+(** Human-readable rendering for CLI tables. *)

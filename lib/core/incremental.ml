@@ -97,6 +97,17 @@ let set_enabled b =
         List.iter (fun f -> f ()) !clearers
       end)
 
+let with_enabled b f =
+  let prev = enabled () in
+  if prev = b then f ()
+  else begin
+    (* set_enabled clears the tables on an actual toggle, so neither
+       the bracketed run nor the restored state can see stale entries
+       from the other regime. *)
+    set_enabled b;
+    Fun.protect ~finally:(fun () -> set_enabled prev) f
+  end
+
 type stats = { reuse : int; recompute : int; entries : int }
 
 let stats () =

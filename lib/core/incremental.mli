@@ -46,6 +46,12 @@ val set_enabled : bool -> unit
 (** Turn the engine on/off (on by default).  Toggling clears every
     table, so stale values can never resurface after re-enabling. *)
 
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** [with_enabled b f] runs [f] with the engine forced to [b] and
+    restores the previous state afterwards (exception-safe).  Used by
+    measurements that must not be served from the memo — e.g. the serve
+    churn benchmark's from-scratch leg. *)
+
 val clear : unit -> unit
 (** Drop every memoized analysis (subsequent calls recompute). *)
 

@@ -1,15 +1,17 @@
 type env_table = (int * int, Pwl.t) Hashtbl.t
 
+let install_source table (f : Flow.t) =
+  Hashtbl.replace table (f.id, Flow.first_hop f) (Flow.source_curve f)
+
 let create net =
   let table = Hashtbl.create 64 in
-  List.iter
-    (fun (f : Flow.t) ->
-      Hashtbl.replace table (f.id, Flow.first_hop f) (Flow.source_curve f))
-    (Network.flows net);
+  List.iter (install_source table) (Network.flows net);
   table
 
 let get table ~flow ~server = Hashtbl.find table (flow, server)
+let find_opt table ~flow ~server = Hashtbl.find_opt table (flow, server)
 let set table ~flow ~server env = Hashtbl.replace table (flow, server) env
+let remove table ~flow ~server = Hashtbl.remove table (flow, server)
 
 let set_next table (f : Flow.t) ~after env =
   match Flow.next_hop f after with

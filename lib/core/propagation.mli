@@ -17,7 +17,18 @@ val get : env_table -> flow:int -> server:int -> Pwl.t
     upstream analysis has not reached this hop yet (a bug in the
     caller's traversal order). *)
 
+val find_opt : env_table -> flow:int -> server:int -> Pwl.t option
+
 val set : env_table -> flow:int -> server:int -> Pwl.t -> unit
+
+val remove : env_table -> flow:int -> server:int -> unit
+(** Forget one entry (delta re-analysis hook: a torn-down flow's hops
+    are dropped before the affected cone is recomputed). *)
+
+val install_source : env_table -> Flow.t -> unit
+(** Install a flow's source envelope at its first hop — what {!create}
+    does for every flow; exposed so an online engine can splice a newly
+    admitted flow into an existing table. *)
 
 val set_next : env_table -> Flow.t -> after:int -> Pwl.t -> unit
 (** Install a flow's envelope at the hop following [after] on its

@@ -1,0 +1,362 @@
+(* Incremental (delta) re-analysis for the serve subsystem.
+
+   The state mirrors Decomposed.analyze_raw exactly — envelope table,
+   per-(flow, server) local bounds, poison marks past unstable servers —
+   with one addition: each poison mark remembers the server that
+   originated it, so a cone recompute can drop exactly the marks whose
+   origin is being re-analyzed and keep those inherited from untouched
+   upstream state.
+
+   The cone of a change is the forward closure of the changed flow's
+   route in the routing DAG.  Three facts make cone recomputation
+   exact (not approximate):
+   - an envelope at (flow, server) is written by the flow's previous
+     hop, so every table entry a change can affect lives at a server
+     inside the forward closure;
+   - the closure is computed on the post-change edge set, whose new (or
+     removed) edges connect route servers that are all seeds, so the
+     same closure also covers the pre-change dependencies;
+   - per-server recomputation is the same deterministic code path as
+     the batch analysis, fed inputs that are either recomputed in
+     topological order or physically unchanged.
+
+   Rollback of a rejected admit is a teardown of the candidate over the
+   same cone: recomputing the old flow population from unchanged
+   outside-cone inputs reproduces the previous state bit-for-bit. *)
+
+let c_cone = Metrics.counter "serve.delta.cone_nodes"
+let c_reused = Metrics.counter "serve.delta.reused_nodes"
+let c_accepted = Metrics.counter "serve.admit.accepted"
+let c_rejected = Metrics.counter "serve.admit.rejected"
+let c_teardown = Metrics.counter "serve.teardown"
+
+type t = {
+  options : Options.t;
+  mutable net : Network.t;
+  envs : Propagation.env_table;
+  locals : (int * int, float) Hashtbl.t;    (* (flow, server) -> local bound *)
+  poisoned : (int * int, int) Hashtbl.t;    (* (flow, server) -> origin server *)
+  violated : (int, unit) Hashtbl.t;         (* flows missing their deadline *)
+  mutable admits : int;
+  mutable rejects : int;
+  mutable teardowns : int;
+  mutable cone_total : int;
+  mutable reused_total : int;
+}
+
+let network t = t.net
+
+let flow_delay t id =
+  let f = Network.flow t.net id in
+  List.fold_left
+    (fun acc s -> acc +. Hashtbl.find t.locals (id, s))
+    0. f.Flow.route
+
+let all_flow_delays t =
+  Network.flows t.net
+  |> List.map (fun (f : Flow.t) -> (f.id, flow_delay t f.id))
+  |> List.sort compare
+
+let query t id =
+  match Network.flow t.net id with
+  | exception Not_found -> None
+  | f -> Some (f, flow_delay t id)
+
+let refresh_violation t (f : Flow.t) =
+  match f.deadline with
+  | None -> Hashtbl.remove t.violated f.id
+  | Some dl ->
+      let b = flow_delay t f.id in
+      if Float.is_finite b && b <= dl +. Float_ops.eps then
+        Hashtbl.remove t.violated f.id
+      else Hashtbl.replace t.violated f.id ()
+
+(* Successor map of the routing DAG, built once per operation. *)
+let successors net =
+  let succs = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      let cur = try Hashtbl.find succs a with Not_found -> [] in
+      Hashtbl.replace succs a (b :: cur))
+    (Network.edges net);
+  succs
+
+let succs_of succs sid = try Hashtbl.find succs sid with Not_found -> []
+
+(* Forward closure of [seeds]. *)
+let cone_of ~succs ~seeds =
+  let cone = Hashtbl.create 64 in
+  let rec visit sid =
+    if not (Hashtbl.mem cone sid) then begin
+      Hashtbl.add cone sid ();
+      List.iter visit (succs_of succs sid)
+    end
+  in
+  List.iter visit seeds;
+  cone
+
+(* Topological order of the cone subgraph (Kahn, ties by ascending id).
+   Only in-cone predecessors count: inputs from outside the cone are
+   already final.  Raises Network.Cyclic when the subgraph has a cycle
+   — and any cycle a new flow can create passes through its route
+   servers, which are all cone seeds, so checking the cone suffices.
+   Per-operation cost scales with the cone, not the network. *)
+let cone_topo_order ~succs cone =
+  let indeg = Hashtbl.create 64 in
+  Hashtbl.iter (fun sid () -> Hashtbl.replace indeg sid 0) cone;
+  Hashtbl.iter
+    (fun sid () ->
+      List.iter
+        (fun b ->
+          if Hashtbl.mem cone b then
+            Hashtbl.replace indeg b (Hashtbl.find indeg b + 1))
+        (succs_of succs sid))
+    cone;
+  let ready =
+    Hashtbl.fold
+      (fun sid () acc -> if Hashtbl.find indeg sid = 0 then sid :: acc else acc)
+      cone []
+    |> List.sort compare
+  in
+  let rec kahn order = function
+    | [] -> List.rev order
+    | sid :: rest ->
+        let next =
+          List.fold_left
+            (fun acc b ->
+              if Hashtbl.mem cone b then begin
+                let d = Hashtbl.find indeg b - 1 in
+                Hashtbl.replace indeg b d;
+                if d = 0 then b :: acc else acc
+              end
+              else acc)
+            [] (succs_of succs sid)
+        in
+        kahn (sid :: order) (List.sort compare next @ rest)
+  in
+  let order = kahn [] ready in
+  if List.length order <> Hashtbl.length cone then raise Network.Cyclic
+  else order
+
+(* Re-run the topological sweep restricted to the cone.  Raises
+   Network.Cyclic before any mutation when the cone subgraph has a
+   cycle (the caller rolls back the flow-list change). *)
+let recompute t ~succs ~cone =
+  let order = cone_topo_order ~succs cone in
+  (* Poison marks originating inside the cone are about to be
+     re-derived; marks inherited from untouched upstream servers stay. *)
+  Hashtbl.fold
+    (fun key origin acc -> if Hashtbl.mem cone origin then key :: acc else acc)
+    t.poisoned []
+  |> List.sort compare
+  |> List.iter (fun key -> Hashtbl.remove t.poisoned key);
+  let poison_rest (f : Flow.t) ~from =
+    let rec mark = function
+      | s :: rest ->
+          if s = from then
+            List.iter (fun s' -> Hashtbl.replace t.poisoned (f.id, s') from) rest
+          else mark rest
+      | [] -> ()
+    in
+    mark f.route
+  in
+  List.iter
+    (fun sid ->
+      let present = Network.flows_at t.net sid in
+      if present <> [] then begin
+        let unbounded =
+          List.exists
+            (fun (f : Flow.t) -> Hashtbl.mem t.poisoned (f.id, sid))
+            present
+        in
+        if unbounded then
+          List.iter
+            (fun (f : Flow.t) ->
+              Hashtbl.replace t.locals (f.id, sid) infinity;
+              poison_rest f ~from:sid)
+            present
+        else begin
+          let with_envs =
+            List.map
+              (fun (f : Flow.t) ->
+                (f, Propagation.get t.envs ~flow:f.id ~server:sid))
+              present
+          in
+          let delays =
+            Local_bounds.at_server ~options:t.options t.net t.envs ~server:sid
+          in
+          List.iter2
+            (fun ((f : Flow.t), env) ((f' : Flow.t), d) ->
+              assert (f.id = f'.id);
+              Hashtbl.replace t.locals (f.id, sid) d;
+              if Float_ops.eq_exact d infinity then poison_rest f ~from:sid
+              else
+                Propagation.set_next t.envs f ~after:sid
+                  (Options.compact_envelope t.options (Pwl.shift_left env d)))
+            with_envs delays
+        end
+      end)
+    order;
+  (* Bounds can only have changed for flows that touch the cone. *)
+  List.iter
+    (fun (f : Flow.t) ->
+      if List.exists (fun s -> Hashtbl.mem cone s) f.route then
+        refresh_violation t f)
+    (Network.flows t.net)
+
+let create ?(options = Options.default) ~servers ~flows () =
+  let net = Network.make ~servers ~flows in
+  let t =
+    {
+      options;
+      net;
+      envs = Propagation.create net;
+      locals = Hashtbl.create 64;
+      poisoned = Hashtbl.create 8;
+      violated = Hashtbl.create 8;
+      admits = 0;
+      rejects = 0;
+      teardowns = 0;
+      cone_total = 0;
+      reused_total = 0;
+    }
+  in
+  let cone = Hashtbl.create 64 in
+  List.iter (fun (s : Server.t) -> Hashtbl.replace cone s.id ()) servers;
+  recompute t ~succs:(successors net) ~cone;
+  t
+
+type op_stats = { cone_nodes : int; reused_nodes : int }
+
+type admit_result =
+  | Admitted of { bound : float; stats : op_stats }
+  | Rejected of { reason : Admission.reject_reason; stats : op_stats }
+
+(* An operation that touched no server state (no-deadline or cyclic
+   rejection) still shows up in the cumulative accounting: it reused
+   everything. *)
+let note_skip t =
+  let reused_nodes = Network.size t.net in
+  Metrics.add c_reused reused_nodes;
+  t.reused_total <- t.reused_total + reused_nodes;
+  { cone_nodes = 0; reused_nodes }
+
+let note_delta t cone =
+  let cone_nodes = Hashtbl.length cone in
+  let reused_nodes = Network.size t.net - cone_nodes in
+  Metrics.add c_cone cone_nodes;
+  Metrics.add c_reused reused_nodes;
+  t.cone_total <- t.cone_total + cone_nodes;
+  t.reused_total <- t.reused_total + reused_nodes;
+  { cone_nodes; reused_nodes }
+
+(* Drop every per-hop trace of a flow (teardown, or admit rollback). *)
+let forget_flow t (f : Flow.t) =
+  List.iter
+    (fun s ->
+      Propagation.remove t.envs ~flow:f.id ~server:s;
+      Hashtbl.remove t.locals (f.id, s);
+      Hashtbl.remove t.poisoned (f.id, s))
+    f.route;
+  Hashtbl.remove t.violated f.id
+
+(* Lowest-id violated flow, matching Admission.first_violation. *)
+let current_violation t =
+  Hashtbl.fold (fun id () acc -> id :: acc) t.violated []
+  |> List.sort Int.compare
+  |> function
+  | [] -> None
+  | id :: _ ->
+      let f = Network.flow t.net id in
+      let deadline = match f.Flow.deadline with Some d -> d | None -> infinity in
+      Some
+        (Admission.Deadline_violated { flow = id; bound = flow_delay t id; deadline })
+
+let admit t (cand : Flow.t) =
+  match cand.deadline with
+  | None ->
+      t.rejects <- t.rejects + 1;
+      Metrics.incr c_rejected;
+      Rejected { reason = Admission.No_deadline; stats = note_skip t }
+  | Some _ -> (
+      let old_net = t.net in
+      (* Raises Invalid_argument on a duplicate id or unknown server
+         before any state is touched. *)
+      let new_net =
+        Network.with_flows old_net (Network.flows old_net @ [ cand ])
+      in
+      t.net <- new_net;
+      Propagation.install_source t.envs cand;
+      let succs = successors new_net in
+      let cone = cone_of ~succs ~seeds:cand.route in
+      match recompute t ~succs ~cone with
+      | exception Network.Cyclic ->
+          (* Nothing was recomputed (the cycle check precedes all
+             mutation): undo the flow-list splice and reject. *)
+          Propagation.remove t.envs ~flow:cand.id ~server:(Flow.first_hop cand);
+          t.net <- old_net;
+          t.rejects <- t.rejects + 1;
+          Metrics.incr c_rejected;
+          Rejected { reason = Admission.Cyclic_route; stats = note_skip t }
+      | () ->
+          let stats = note_delta t cone in
+          if Hashtbl.length t.violated = 0 then begin
+            t.admits <- t.admits + 1;
+            Metrics.incr c_accepted;
+            Admitted { bound = flow_delay t cand.id; stats }
+          end
+          else begin
+            let reason =
+              match current_violation t with
+              | Some r -> r
+              | None -> assert false
+            in
+            (* Roll back: tear the candidate out over the same cone.
+               Outside-cone state never moved, so this reproduces the
+               pre-admit state bit-for-bit. *)
+            forget_flow t cand;
+            t.net <- old_net;
+            recompute t ~succs ~cone;
+            t.rejects <- t.rejects + 1;
+            Metrics.incr c_rejected;
+            Rejected { reason; stats }
+          end)
+
+let teardown t id =
+  match Network.flow t.net id with
+  | exception Not_found -> Error `Unknown_flow
+  | f ->
+      let flows' =
+        List.filter (fun (g : Flow.t) -> g.id <> id) (Network.flows t.net)
+      in
+      forget_flow t f;
+      t.net <- Network.with_flows t.net flows';
+      let succs = successors t.net in
+      let cone = cone_of ~succs ~seeds:f.route in
+      recompute t ~succs ~cone;
+      t.teardowns <- t.teardowns + 1;
+      Metrics.incr c_teardown;
+      Ok (note_delta t cone)
+
+type stats = {
+  servers : int;
+  flows : int;
+  admitted_rate : float;
+  admits : int;
+  rejects : int;
+  teardowns : int;
+  cone_nodes : int;
+  reused_nodes : int;
+}
+
+let stats t =
+  {
+    servers = Network.size t.net;
+    flows = List.length (Network.flows t.net);
+    admitted_rate = Propagation.total_rate (Network.flows t.net);
+    admits = t.admits;
+    rejects = t.rejects;
+    teardowns = t.teardowns;
+    cone_nodes = t.cone_total;
+    reused_nodes = t.reused_total;
+  }

@@ -1,0 +1,41 @@
+(** Minimal JSON for the serve line protocol.
+
+    The container ships no JSON library, and the protocol only needs
+    flat requests/responses, so this is a small self-contained value
+    type with a strict parser and a deterministic renderer (object keys
+    keep their construction order; numbers render through a shortest
+    round-trip format), which is what makes golden-transcript tests
+    byte-stable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Position-tagged message. *)
+
+val parse : string -> t
+(** Parse one JSON document; trailing non-whitespace is an error.
+    @raise Parse_error on malformed input. *)
+
+val render : t -> string
+(** Compact single-line rendering (no spaces, keys in listed order).
+    Non-finite numbers render as [null] — they are not JSON. *)
+
+val num_of_int : int -> t
+val float_or_null : float -> t
+(** [Num x] when finite, [Null] otherwise. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on absence or non-objects. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+(** Integral [Num]s only. *)
+
+val to_string : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,381 @@
+(* The serve subsystem's contracts:
+
+   - Admission.run is exactly a fold of Admission.decide_one, and
+     rejections carry the reason (which flow would miss its deadline);
+   - the delta engine's state after any admit/teardown churn is
+     byte-identical (IEEE bits) to a from-scratch decomposed analysis
+     of the same population, and a rejected admit rolls back
+     bit-exactly;
+   - the line protocol is deterministic: golden transcripts pin the
+     exact response bytes, including the in-band error paths;
+   - delta operations actually reuse out-of-cone state
+     (reused_nodes > 0 on a tail admit). *)
+
+open Testutil
+
+let bits = Int64.bits_of_float
+
+let same_bounds msg expected actual =
+  Alcotest.(check (list (pair int int64)))
+    msg
+    (List.map (fun (id, d) -> (id, bits d)) expected)
+    (List.map (fun (id, d) -> (id, bits d)) actual)
+
+let tb ?peak ~sigma ~rho () = Arrival.token_bucket ?peak ~sigma ~rho ()
+
+(* Fresh decomposed bounds with the sweep memo off, so the comparison
+   is against genuine from-scratch work, not a cache hit. *)
+let scratch_bounds ~servers ~flows =
+  Incremental.with_enabled false (fun () ->
+      Decomposed.all_flow_delays
+        (Decomposed.analyze (Network.make ~servers ~flows)))
+
+(* ------------------------------------------------------------------ *)
+(* Admission: decide_one vs run, rejection reasons                     *)
+(* ------------------------------------------------------------------ *)
+
+let tandem_parts n =
+  let t = Tandem.make ~n ~utilization:0.6 () in
+  (Network.servers t.Tandem.network, Network.flows t.Tandem.network)
+
+let candidates_for n =
+  List.init 6 (fun i ->
+      let k = i mod (n - 1) in
+      let deadline = if i mod 3 = 2 then 0.01 else 500. in
+      Flow.make ~id:(1000 + i)
+        ~arrival:(tb ~sigma:1. ~rho:0.02 ~peak:1. ())
+        ~route:[ k; k + 1 ] ~deadline ())
+
+let test_run_is_fold_of_decide_one () =
+  let servers, base = tandem_parts 6 in
+  let candidates = candidates_for 6 in
+  let method_ = Engine.Decomposed in
+  let outcome = Admission.run ~servers ~base ~candidates ~method_ () in
+  let admitted_fold, rejected_fold =
+    List.fold_left
+      (fun (adm, rej) cand ->
+        match
+          Admission.decide_one ~servers ~flows:(base @ List.rev adm)
+            ~candidate:cand ~method_ ()
+        with
+        | Admission.Accepted _ -> (cand :: adm, rej)
+        | Admission.Rejected _ -> (adm, cand :: rej))
+      ([], []) candidates
+    |> fun (adm, rej) -> (List.rev adm, List.rev rej)
+  in
+  let ids = List.map (fun (f : Flow.t) -> f.id) in
+  Alcotest.(check (list int))
+    "admitted ids" (ids admitted_fold) (ids outcome.admitted);
+  Alcotest.(check (list int))
+    "rejected ids" (ids rejected_fold) (ids outcome.rejected);
+  check_bool "some admitted" true (outcome.admitted <> []);
+  check_bool "some rejected" true (outcome.rejected <> [])
+
+let test_rejection_reasons () =
+  let servers = List.init 2 (fun id -> Server.make ~id ~rate:1. ()) in
+  let base =
+    [ Flow.make ~id:0 ~arrival:(tb ~sigma:1. ~rho:0.2 ()) ~route:[ 0; 1 ]
+        ~deadline:50. () ]
+  in
+  let mk ?deadline ~id ~route () =
+    Flow.make ~id ~arrival:(tb ~sigma:1. ~rho:0.2 ()) ~route ?deadline ()
+  in
+  let decide cand =
+    Admission.decide_one ~servers ~flows:base ~candidate:cand
+      ~method_:Engine.Decomposed ()
+  in
+  (match decide (mk ~id:1 ~route:[ 0 ] ()) with
+  | Admission.Rejected Admission.No_deadline -> ()
+  | _ -> Alcotest.fail "expected No_deadline");
+  (match decide (mk ~id:1 ~route:[ 1; 0 ] ~deadline:10. ()) with
+  | Admission.Rejected Admission.Cyclic_route -> ()
+  | _ -> Alcotest.fail "expected Cyclic_route");
+  (* The candidate itself fits, but it pushes base flow 0 over its
+     deadline: the report must name the violated flow, not just fail. *)
+  let tight_base =
+    [ Flow.make ~id:0 ~arrival:(tb ~sigma:1. ~rho:0.2 ()) ~route:[ 0; 1 ]
+        ~deadline:2.1 () ]
+  in
+  match
+    Admission.decide_one ~servers ~flows:tight_base
+      ~candidate:(mk ~id:1 ~route:[ 0 ] ~deadline:100. ())
+      ~method_:Engine.Decomposed ()
+  with
+  | Admission.Rejected (Admission.Deadline_violated { flow; bound; deadline })
+    ->
+      Alcotest.(check int) "violating flow" 0 flow;
+      Alcotest.(check (float 1e-9)) "violating deadline" 2.1 deadline;
+      check_bool "bound exceeds deadline" true (bound > deadline)
+  | _ -> Alcotest.fail "expected Deadline_violated naming flow 0"
+
+(* ------------------------------------------------------------------ *)
+(* Delta engine: determinism under churn, rollback, reuse              *)
+(* ------------------------------------------------------------------ *)
+
+let check_matches_scratch msg e =
+  let net = Delta_engine.network e in
+  same_bounds msg
+    (scratch_bounds ~servers:(Network.servers net) ~flows:(Network.flows net))
+    (Delta_engine.all_flow_delays e)
+
+let test_churn_determinism () =
+  let servers, base = tandem_parts 8 in
+  let e = Delta_engine.create ~servers ~flows:base () in
+  let admitted = Queue.create () in
+  for i = 0 to 39 do
+    let k = 6 - (i mod 3) in
+    let cand =
+      Flow.make ~id:(2000 + i)
+        ~arrival:(tb ~sigma:1. ~rho:0.01 ~peak:1. ())
+        ~route:[ k; k + 1 ]
+        ~deadline:(if i mod 7 = 3 then 1e-3 else 1000.)
+        ()
+    in
+    (match Delta_engine.admit e cand with
+    | Delta_engine.Admitted _ -> Queue.add cand.Flow.id admitted
+    | Delta_engine.Rejected _ -> ());
+    if Queue.length admitted > 5 then
+      match Delta_engine.teardown e (Queue.pop admitted) with
+      | Ok _ -> ()
+      | Error `Unknown_flow -> Alcotest.fail "teardown of admitted flow"
+  done;
+  check_bool "churn admitted flows" true (Queue.length admitted > 0);
+  check_matches_scratch "post-churn bounds = from-scratch analysis" e
+
+let test_rollback_bit_exact () =
+  let servers, base = tandem_parts 6 in
+  let e = Delta_engine.create ~servers ~flows:base () in
+  let before = Delta_engine.all_flow_delays e in
+  let cand =
+    Flow.make ~id:3000
+      ~arrival:(tb ~sigma:1. ~rho:0.02 ~peak:1. ())
+      ~route:[ 0; 1 ] ~deadline:1e-4 ()
+  in
+  (match Delta_engine.admit e cand with
+  | Delta_engine.Rejected
+      { reason = Admission.Deadline_violated { flow; _ }; _ } ->
+      Alcotest.(check int) "candidate is the violator" 3000 flow
+  | _ -> Alcotest.fail "expected a deadline rejection");
+  same_bounds "rejected admit leaves state bit-identical" before
+    (Delta_engine.all_flow_delays e);
+  check_matches_scratch "rolled-back state = from-scratch analysis" e
+
+let test_delta_matches_decide_one () =
+  let servers, base = tandem_parts 6 in
+  let e = Delta_engine.create ~servers ~flows:base () in
+  List.iter
+    (fun cand ->
+      let flows_now = Network.flows (Delta_engine.network e) in
+      let batch =
+        Admission.decide_one ~servers ~flows:flows_now ~candidate:cand
+          ~method_:Engine.Decomposed ()
+      in
+      match (Delta_engine.admit e cand, batch) with
+      | Delta_engine.Admitted { bound; _ }, Admission.Accepted { bounds } ->
+          Alcotest.(check int64)
+            "admitted bound matches batch analysis"
+            (bits (List.assoc cand.Flow.id bounds))
+            (bits bound)
+      | Delta_engine.Rejected _, Admission.Rejected _ -> ()
+      | Delta_engine.Admitted _, Admission.Rejected _ ->
+          Alcotest.fail "delta admitted what batch rejected"
+      | Delta_engine.Rejected _, Admission.Accepted _ ->
+          Alcotest.fail "delta rejected what batch admitted")
+    (candidates_for 6)
+
+let test_tail_admit_reuses () =
+  let servers, base = tandem_parts 8 in
+  let e = Delta_engine.create ~servers ~flows:base () in
+  let cand =
+    Flow.make ~id:4000
+      ~arrival:(tb ~sigma:1. ~rho:0.01 ~peak:1. ())
+      ~route:[ 6; 7 ] ~deadline:1000. ()
+  in
+  match Delta_engine.admit e cand with
+  | Delta_engine.Admitted { stats; _ } ->
+      check_bool "tail cone is a strict subset" true
+        (stats.reused_nodes > 0
+        && stats.cone_nodes + stats.reused_nodes = 3 * 8);
+      check_matches_scratch "delta admit = from-scratch analysis" e
+  | Delta_engine.Rejected _ -> Alcotest.fail "tail admit should fit"
+
+(* ------------------------------------------------------------------ *)
+(* Sjson                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sjson_roundtrip () =
+  let doc =
+    Sjson.Obj
+      [
+        ("a", Sjson.Num 1.);
+        ("b", Sjson.List [ Sjson.Bool true; Sjson.Null; Sjson.Str "x\"\n" ]);
+        ("c", Sjson.Num 0.1);
+        ("inf", Sjson.float_or_null infinity);
+      ]
+  in
+  let s = Sjson.render doc in
+  Alcotest.(check string)
+    "deterministic rendering"
+    {|{"a":1,"b":[true,null,"x\"\n"],"c":0.1,"inf":null}|} s;
+  Alcotest.(check string) "render/parse fixpoint" s (Sjson.render (Sjson.parse s))
+
+let test_sjson_float_bits () =
+  List.iter
+    (fun x ->
+      match Sjson.parse (Sjson.render (Sjson.Num x)) with
+      | Sjson.Num y ->
+          Alcotest.(check int64)
+            (Printf.sprintf "float %h round-trips" x)
+            (bits x) (bits y)
+      | _ -> Alcotest.fail "expected a number")
+    [ 0.; 1.; -1.5; 0.1; 1. /. 3.; 2.5499999999999994; 1e-300; 9.1941176470588228 ]
+
+let test_sjson_errors () =
+  List.iter
+    (fun s ->
+      match Sjson.parse s with
+      | exception Sjson.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected Parse_error on %S" s)
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "1.2.3"; "\"unterminated";
+      "{\"a\":1} trailing"; "\"bad \\q escape\"" ]
+
+(* ------------------------------------------------------------------ *)
+(* Line protocol: golden transcript                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One server of rate 1; token buckets with sigma 1, rho 0.1 give the
+   FIFO bound (number of flows) * sigma exactly, so every response
+   byte below is stable arithmetic. *)
+let golden_server () =
+  Serve.create ~mode:Serve.Delta
+    ~servers:[ Server.make ~id:0 ~rate:1. () ]
+    ~flows:[] ()
+
+let golden_transcript =
+  [
+    ( {|{"op":"admit","flow":{"id":1,"sigma":1,"rho":0.1,"route":[0],"deadline":5}}|},
+      {|{"ok":true,"op":"admit","flow":1,"bound":1,"cone_nodes":1,"reused_nodes":0}|}
+    );
+    ( {|{"op":"admit","flow":{"id":2,"sigma":1,"rho":0.1,"route":[0],"deadline":5}}|},
+      {|{"ok":true,"op":"admit","flow":2,"bound":2,"cone_nodes":1,"reused_nodes":0}|}
+    );
+    ( {|{"op":"admit","flow":{"id":3,"sigma":1,"rho":0.1,"route":[0],"deadline":2.5}}|},
+      {|{"ok":false,"op":"admit","flow":3,"error":"rejected","reason":"deadline_violated","violating_flow":3,"violating_bound":3,"violating_deadline":2.5,"cone_nodes":1,"reused_nodes":0}|}
+    );
+    ( {|{"op":"query","flow":1}|},
+      {|{"ok":true,"op":"query","flow":1,"bound":2,"deadline":5,"route":[0]}|} );
+    ( {|{"op":"admit","flow":{"id":1,"sigma":1,"rho":0.1,"route":[0],"deadline":5}}|},
+      {|{"ok":false,"op":"admit","flow":1,"error":"duplicate_flow"}|} );
+    ( {|{"op":"admit","flow":{"id":9,"sigma":1,"rho":0.1,"route":[0]}}|},
+      {|{"ok":false,"op":"admit","flow":9,"error":"rejected","reason":"no_deadline","cone_nodes":0,"reused_nodes":1}|}
+    );
+    ( {|{"op":"teardown","flow":2}|},
+      {|{"ok":true,"op":"teardown","flow":2,"cone_nodes":1,"reused_nodes":0}|} );
+    ( {|{"op":"query","flow":1}|},
+      {|{"ok":true,"op":"query","flow":1,"bound":1,"deadline":5,"route":[0]}|} );
+    ( {|{"op":"teardown","flow":2}|},
+      {|{"ok":false,"op":"teardown","flow":2,"error":"unknown_flow"}|} );
+    ( {|{"op":"query","flow":77}|},
+      {|{"ok":false,"op":"query","flow":77,"error":"unknown_flow"}|} );
+    ( {|this is not json|},
+      {|{"ok":false,"error":"parse_error","detail":"at 0: expected true"}|}
+    );
+    ( {|{"op":"frobnicate"}|},
+      {|{"ok":false,"error":"unknown_op","detail":"frobnicate"}|} );
+    ( {|{"op":"admit"}|},
+      {|{"ok":false,"error":"bad_request","detail":"missing \"flow\" field"}|} );
+    ( {|{"op":"admit","flow":{"id":8,"route":[0],"deadline":5}}|},
+      {|{"ok":false,"error":"bad_request","detail":"missing or invalid \"sigma\" field"}|}
+    );
+    ( {|{"op":"teardown"}|},
+      {|{"ok":false,"error":"bad_request","detail":"missing or invalid \"flow\" field"}|}
+    );
+    ( {|{"nop":1}|},
+      {|{"ok":false,"error":"bad_request","detail":"missing or invalid \"op\" field"}|}
+    );
+    ( {|{"op":"stats"}|},
+      {|{"ok":true,"op":"stats","engine":"delta","servers":1,"flows":1,"admitted_rate":0.1,"admits":2,"rejects":2,"teardowns":1,"cone_nodes":4,"reused_nodes":1}|}
+    );
+  ]
+
+let test_golden_transcript () =
+  let t = golden_server () in
+  List.iteri
+    (fun i (request, expected) ->
+      Alcotest.(check string)
+        (Printf.sprintf "line %d: %s" i request)
+        expected (Serve.handle_line t request))
+    golden_transcript
+
+let test_session_loop () =
+  let t = golden_server () in
+  let pending = ref (List.map fst golden_transcript @ [ ""; "   " ]) in
+  let responses = ref [] in
+  Serve.session t
+    ~next:(fun () ->
+      match !pending with
+      | [] -> None
+      | line :: rest ->
+          pending := rest;
+          Some line)
+    ~emit:(fun resp -> responses := resp :: !responses);
+  Alcotest.(check (list string))
+    "session = handle_line per non-blank line"
+    (List.map snd golden_transcript)
+    (List.rev !responses)
+
+(* ------------------------------------------------------------------ *)
+(* Full engine parity                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_full_engine_agrees () =
+  let servers, base = tandem_parts 4 in
+  let delta = Serve.create ~mode:Serve.Delta ~servers ~flows:base () in
+  let full =
+    Serve.create ~mode:(Serve.Full Engine.Decomposed) ~servers ~flows:base ()
+  in
+  let requests =
+    [
+      {|{"op":"admit","flow":{"id":500,"sigma":1,"rho":0.02,"peak":1,"route":[2,3],"deadline":900}}|};
+      {|{"op":"admit","flow":{"id":501,"sigma":1,"rho":0.02,"peak":1,"route":[0,1],"deadline":0.001}}|};
+      {|{"op":"query","flow":500}|};
+      {|{"op":"teardown","flow":500}|};
+    ]
+  in
+  List.iter
+    (fun request ->
+      let strip line =
+        (* The engines legitimately differ in cone accounting; decisions
+           and bounds must agree. *)
+        match Sjson.parse line with
+        | Sjson.Obj fields ->
+            Sjson.render
+              (Sjson.Obj
+                 (List.filter
+                    (fun (k, _) ->
+                      k <> "cone_nodes" && k <> "reused_nodes")
+                    fields))
+        | v -> Sjson.render v
+      in
+      Alcotest.(check string)
+        ("delta/full parity on " ^ request)
+        (strip (Serve.handle_line full request))
+        (strip (Serve.handle_line delta request)))
+    requests
+
+let suite =
+  ( "serve",
+    [
+      test "admission: run is a fold of decide_one" test_run_is_fold_of_decide_one;
+      test "admission: rejection reasons" test_rejection_reasons;
+      test "delta: churn matches from-scratch bits" test_churn_determinism;
+      test "delta: rejected admit rolls back bit-exactly" test_rollback_bit_exact;
+      test "delta: decisions match decide_one" test_delta_matches_decide_one;
+      test "delta: tail admit reuses out-of-cone state" test_tail_admit_reuses;
+      test "sjson: deterministic render and round-trip" test_sjson_roundtrip;
+      test "sjson: float bit round-trip" test_sjson_float_bits;
+      test "sjson: parse errors" test_sjson_errors;
+      test "protocol: golden transcript" test_golden_transcript;
+      test "protocol: session loop" test_session_loop;
+      test "protocol: delta/full engine parity" test_full_engine_agrees;
+    ] )
