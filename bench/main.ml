@@ -162,6 +162,75 @@ let fig6 () =
        systems under high load."
     ()
 
+(* Buffer sizing over the same (U, n) tandem grid as the delay figures:
+   Connection 0's buffer requirement (worst per-hop backlog bound,
+   minimal per-flow split) under the decomposed and the integrated
+   windows.  Served by the same shared sweep passes as fig4-6, so the
+   whole grid costs one forward pass per load. *)
+let buffers () =
+  section "Buffer sizing — Connection 0's per-hop backlog bounds (tandem)";
+  let hops = [ 2; 4; 6; 8 ] in
+  let results =
+    Sweep_engine.tandem_grid ~options:!bench_options ~hops ~loads ()
+  in
+  let cache = List.combine loads (chunks (List.length hops) results) in
+  print_endline "\nBuffer requirement (worst per-hop backlog bound):";
+  let tbl =
+    Table.create
+      ~header:
+        ("U"
+        :: List.concat_map
+             (fun n ->
+               [ Printf.sprintf "B_D(%d)" n; Printf.sprintf "B_I(%d)" n ])
+             hops)
+  in
+  List.iter
+    (fun (u, row) ->
+      Table.add_floats tbl
+        (u
+        :: List.concat_map
+             (fun (c : Engine.comparison) ->
+               [ c.decomposed_backlog; c.integrated_backlog ])
+             row))
+    cache;
+  output ~name:"buffers-bounds" tbl;
+  print_endline
+    "\nRelative improvement R = (B_D - B_I) / B_D of Integrated over \
+     Decomposed:";
+  let tbl2 =
+    Table.create
+      ~header:("U" :: List.map (fun n -> Printf.sprintf "R(%d)" n) hops)
+  in
+  List.iter
+    (fun (u, row) ->
+      Table.add_floats tbl2
+        (u
+        :: List.map
+             (fun (c : Engine.comparison) ->
+               Engine.relative_improvement c.decomposed_backlog
+                 c.integrated_backlog)
+             row))
+    cache;
+  output ~name:"buffers-improvement" tbl2;
+  (* Every grid cell lands in the --json trajectory (finite by
+     stability of the grid), so CI can assert the backlog pipeline
+     stays live. *)
+  List.iter
+    (fun (u, row) ->
+      List.iter2
+        (fun n (c : Engine.comparison) ->
+          let key part =
+            Printf.sprintf "buffers.u%.0f.n%d.%s" (100. *. u) n part
+          in
+          record_value (key "decomposed") c.decomposed_backlog;
+          record_value (key "integrated") c.integrated_backlog)
+        hops row)
+    cache;
+  print_endline
+    "\nExpected shape: the integrated window never needs more buffer than \
+     the\ndecomposed one, and the gap widens with load (burstiness paid \
+     once per pair)."
+
 (* ------------------------------------------------------------------ *)
 (* Burstiness invariance (paper Sec. 4.1 claim)                        *)
 (* ------------------------------------------------------------------ *)
@@ -901,6 +970,7 @@ let experiments =
     ("fig4", fig4);
     ("fig5", fig5);
     ("fig6", fig6);
+    ("buffers", buffers);
     ("burstiness", burstiness);
     ("validation", validation);
     ("admission", admission);

@@ -406,24 +406,35 @@ let admit_cmd =
     let rejected_reason (c : Flow.t) =
       List.find_opt (fun ((f : Flow.t), _) -> f.id = c.id) outcome.rejections
     in
+    let admitted_net =
+      Network.make ~servers ~flows:(base @ outcome.admitted)
+    in
     let tbl =
       Table.create
-        ~header:[ "candidate"; "deadline"; "verdict"; "bound"; "reason" ]
+        ~header:
+          [ "candidate"; "deadline"; "buffer"; "verdict"; "bound"; "backlog";
+            "reason" ]
     in
     List.iter
       (fun (c : Flow.t) ->
         let deadline =
           match c.deadline with Some d -> Table.float_cell d | None -> "-"
         in
+        let budget =
+          match c.buffer with Some b -> Table.float_cell b | None -> "-"
+        in
         match rejected_reason c with
         | Some (_, reason) ->
             Table.add_row tbl
-              [ c.name; deadline; "rejected"; "-";
+              [ c.name; deadline; budget; "rejected"; "-"; "-";
                 Admission.reason_to_string reason ]
         | None ->
             Table.add_row tbl
-              [ c.name; deadline; "admitted";
-                Table.float_cell (List.assoc c.id bounds); "-" ])
+              [ c.name; deadline; budget; "admitted";
+                Table.float_cell (List.assoc c.id bounds);
+                Table.float_cell
+                  (Engine.flow_backlog ~options admitted_net method_ c.id);
+                "-" ])
       candidates;
     Printf.printf
       "Admission control (%s): %d candidate(s), %d admitted, %d rejected, \

@@ -2,6 +2,12 @@ type reject_reason =
   | No_deadline
   | Cyclic_route
   | Deadline_violated of { flow : int; bound : float; deadline : float }
+  | Buffer_violated of {
+      flow : int;
+      server : int;
+      backlog : float;
+      buffer : float;
+    }
 
 type verdict =
   | Accepted of { bounds : (int * float) list }
@@ -17,6 +23,9 @@ type outcome = {
 let deadline_ok ~bound ~deadline =
   Float.is_finite bound && bound <= deadline +. Float_ops.eps
 
+let buffer_ok ~backlog ~buffer =
+  Float.is_finite backlog && backlog <= buffer +. Float_ops.eps
+
 let deadline_met bounds flows =
   List.for_all
     (fun (f : Flow.t) ->
@@ -28,32 +37,69 @@ let deadline_met bounds flows =
           | None -> false))
     flows
 
-(* The violation a verdict reports: the lowest-id flow whose deadline
-   the analysis cannot prove (a flow with no bound in the list counts
-   as unbounded).  Keyed by id, not list position, so the batch loop
-   and the delta engine — which discovers violations in a different
-   order — name the same culprit. *)
-let first_violation bounds flows =
-  List.filter_map
-    (fun (f : Flow.t) ->
-      match f.deadline with
-      | None -> None
-      | Some dl ->
-          let b =
-            match List.assoc_opt f.id bounds with
-            | Some b -> b
-            | None -> infinity
-          in
-          if deadline_ok ~bound:b ~deadline:dl then None else Some (f.id, b, dl))
-    flows
-  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
-  |> function
-  | [] -> None
-  | (flow, bound, deadline) :: _ ->
-      Some (Deadline_violated { flow; bound; deadline })
+(* Per-hop backlog bounds of one flow under a method.  Methods without
+   a backlog notion of their own (Service Curve, FIFO-theta) borrow the
+   decomposed engine's bounds, which are sound for any of them. *)
+let flow_hop_backlogs ?options ?strategy net method_ (f : Flow.t) =
+  match (method_ : Engine.method_) with
+  | Engine.Decomposed | Engine.Service_curve | Engine.Fifo_theta ->
+      let t = Decomposed.analyze ?options net in
+      List.map
+        (fun s -> (s, Decomposed.local_backlog t ~flow:f.id ~server:s))
+        f.route
+  | Engine.Integrated ->
+      let t = Integrated.analyze ?options ?strategy net in
+      List.map
+        (fun s -> (s, Integrated.local_backlog t ~flow:f.id ~server:s))
+        f.route
+  | Engine.Integrated_sp ->
+      let t = Integrated_sp.analyze ?options ?strategy net in
+      List.map
+        (fun s -> (s, Integrated_sp.local_backlog t ~flow:f.id ~server:s))
+        f.route
 
-let bounds_for ?options ?strategy ~servers flows method_ =
-  let net = Network.make ~servers ~flows in
+(* A single flow's violation: the deadline check first, then — only if
+   the flow carries a buffer budget — its per-hop backlog bounds, in
+   route order. *)
+let flow_violation ?options ?strategy net bounds method_ (f : Flow.t) =
+  let deadline_v =
+    match f.deadline with
+    | None -> None
+    | Some dl ->
+        let b =
+          match List.assoc_opt f.id bounds with
+          | Some b -> b
+          | None -> infinity
+        in
+        if deadline_ok ~bound:b ~deadline:dl then None
+        else Some (Deadline_violated { flow = f.id; bound = b; deadline = dl })
+  in
+  match deadline_v with
+  | Some _ -> deadline_v
+  | None -> (
+      match f.buffer with
+      | None -> None
+      | Some budget ->
+          List.find_map
+            (fun (s, b) ->
+              if buffer_ok ~backlog:b ~buffer:budget then None
+              else
+                Some
+                  (Buffer_violated
+                     { flow = f.id; server = s; backlog = b; buffer = budget }))
+            (flow_hop_backlogs ?options ?strategy net method_ f))
+
+(* The violation a verdict reports: the lowest-id flow that fails a
+   check (a flow with no bound in the list counts as unbounded), its
+   deadline before its buffer.  Keyed by id, not list position, so the
+   batch loop and the delta engine — which discovers violations in a
+   different order — name the same culprit. *)
+let first_violation ?options ?strategy net bounds method_ flows =
+  flows
+  |> List.sort (fun (a : Flow.t) (b : Flow.t) -> Int.compare a.id b.id)
+  |> List.find_map (flow_violation ?options ?strategy net bounds method_)
+
+let bounds_of_net ?options ?strategy net method_ =
   match (method_ : Engine.method_) with
   | Engine.Decomposed -> Decomposed.all_flow_delays (Decomposed.analyze ?options net)
   | Engine.Service_curve ->
@@ -67,15 +113,19 @@ let bounds_for ?options ?strategy ~servers flows method_ =
   | Engine.Fifo_theta ->
       Fifo_theta.all_flow_delays (Fifo_theta.analyze ?options net)
 
+let bounds_for ?options ?strategy ~servers flows method_ =
+  bounds_of_net ?options ?strategy (Network.make ~servers ~flows) method_
+
 let decide_one ?options ?strategy ~servers ~flows ~candidate ~method_ () =
   match (candidate : Flow.t).deadline with
   | None -> Rejected No_deadline
   | Some _ -> (
       let all = flows @ [ candidate ] in
-      match bounds_for ?options ?strategy ~servers all method_ with
+      let net = Network.make ~servers ~flows:all in
+      match bounds_of_net ?options ?strategy net method_ with
       | exception Network.Cyclic -> Rejected Cyclic_route
       | bounds -> (
-          match first_violation bounds all with
+          match first_violation ?options ?strategy net bounds method_ all with
           | None -> Accepted { bounds }
           | Some reason -> Rejected reason))
 
@@ -103,3 +153,6 @@ let reason_to_string = function
   | Cyclic_route -> "cyclic routing"
   | Deadline_violated { flow; bound; deadline } ->
       Printf.sprintf "flow %d bound %g > deadline %g" flow bound deadline
+  | Buffer_violated { flow; server; backlog; buffer } ->
+      Printf.sprintf "flow %d backlog %g at server %d > buffer %g" flow backlog
+        server buffer

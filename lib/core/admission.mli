@@ -21,6 +21,17 @@ type reject_reason =
           [flow] is the candidate's id; [bound] is [infinity] past an
           unstable server).  When several flows would miss their
           deadlines, the lowest id is reported. *)
+  | Buffer_violated of {
+      flow : int;
+      server : int;
+      backlog : float;
+      buffer : float;
+    }
+      (** admitting would overflow [flow]'s buffer budget: its backlog
+          bound at [server] exceeds its per-hop [buffer].  Checked only
+          for flows that carry a budget, after every deadline check
+          passes; the lowest flow id is reported, and for that flow the
+          first over-budget hop along its route. *)
 
 type verdict =
   | Accepted of { bounds : (int * float) list }
@@ -47,7 +58,10 @@ val decide_one :
   verdict
 (** Test one candidate against the current population [flows] (the
     candidate is appended after them, matching the batch loop's
-    network construction).  @raise Invalid_argument on duplicate flow
+    network construction).  Admission requires both feasibility checks:
+    every deadline holds, and every flow with a [buffer] budget keeps
+    its per-hop backlog bound within it (deadline ∧ buffer).
+    @raise Invalid_argument on duplicate flow
     ids or a route through an unknown server. *)
 
 val run :
@@ -68,6 +82,15 @@ val run :
 val deadline_met : (int * float) list -> Flow.t list -> bool
 (** [deadline_met bounds flows]: every flow with a deadline has a
     finite bound at most its deadline. *)
+
+val deadline_ok : bound:float -> deadline:float -> bool
+(** The single deadline feasibility predicate: finite and within
+    tolerance ({!Float_ops.eps}) of the deadline. *)
+
+val buffer_ok : backlog:float -> buffer:float -> bool
+(** The single buffer feasibility predicate: finite backlog bound
+    within tolerance of the budget.  Shared with the serve delta engine
+    so both admission paths agree bit-for-bit. *)
 
 val bounds_for :
   ?options:Options.t ->

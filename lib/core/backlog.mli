@@ -1,0 +1,37 @@
+(** Per-server backlog bounds from an envelope table.
+
+    The single code path shared by {!Decomposed} and the serve delta
+    engine, so that delta re-analysis reproduces the from-scratch
+    bounds bit for bit. *)
+
+val server :
+  options:Options.t ->
+  Network.t ->
+  Propagation.env_table ->
+  server:int ->
+  flows:Flow.t list ->
+  float
+(** Aggregate backlog bound at the server: the vertical deviation of
+    the aggregate input from the constant-rate line — valid for any
+    work-conserving discipline.  The caller is responsible for the
+    poisoned (unbounded-envelope) case. *)
+
+val per_flow :
+  options:Options.t ->
+  Network.t ->
+  Propagation.env_table ->
+  server:int ->
+  flows:Flow.t list ->
+  targets:Flow.t list ->
+  local_delay:(flow:int -> float) ->
+  (Flow.t * float) list
+(** Backlog bounds for the [targets] flows (a subset of [flows], the
+    full population at the server, which feeds the aggregates), one
+    entry per target in order.  FIFO
+    servers use the minimal per-flow split {!Deviation.vdev_per_flow};
+    static priority applies the same split within the class against
+    its leftover service; GPS uses the flow's deviation from its
+    weighted share; EDF falls back to the discipline-agnostic
+    [min (alpha_i d_i) B_agg] using the flow's local delay bound
+    [local_delay].  Every bound is capped by the aggregate bound of
+    {!server}. *)

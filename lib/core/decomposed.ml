@@ -113,6 +113,47 @@ let server_backlog t sid =
   | Some (Some agg) ->
       Fifo.backlog ~rate:(Network.server t.net sid).Server.rate ~agg
 
+let poisoned_server t sid =
+  List.exists
+    (fun (f : Flow.t) -> Hashtbl.mem t.poisoned (f.id, sid))
+    (Network.flows_at t.net sid)
+
+let server_flow_backlogs t sid =
+  let present = Network.flows_at t.net sid in
+  if present = [] then []
+  else if poisoned_server t sid then
+    List.map (fun (f : Flow.t) -> (f.id, infinity)) present
+    |> List.sort compare
+  else
+    Backlog.per_flow ~options:t.options t.net t.envs ~server:sid
+      ~flows:present ~targets:present
+      ~local_delay:(fun ~flow -> local_delay t ~flow ~server:sid)
+    |> List.map (fun ((f : Flow.t), b) -> (f.id, b))
+    |> List.sort compare
+
+let local_backlog t ~flow ~server =
+  let present = Network.flows_at t.net server in
+  let target =
+    match List.find_opt (fun (f : Flow.t) -> f.id = flow) present with
+    | Some f -> f
+    | None -> raise Not_found
+  in
+  if poisoned_server t server then infinity
+  else
+    match
+      Backlog.per_flow ~options:t.options t.net t.envs ~server ~flows:present
+        ~targets:[ target ]
+        ~local_delay:(fun ~flow -> local_delay t ~flow ~server)
+    with
+    | [ (_, b) ] -> b
+    | _ -> assert false
+
+let flow_backlog t id =
+  let f = Network.flow t.net id in
+  List.fold_left
+    (fun acc s -> Float.max acc (local_backlog t ~flow:id ~server:s))
+    0. f.route
+
 let server_busy_period t sid =
   match server_aggregate t sid with
   | None -> 0.

@@ -49,5 +49,21 @@ val server_backlog : t -> int -> float
     the buffer size that guarantees zero loss ([0.] for an idle
     server, [infinity] past an unstable one). *)
 
+val server_flow_backlogs : t -> int -> (int * float) list
+(** Per-flow backlog bounds at a server, [(flow id, bound)] in id
+    order ({!Backlog.per_flow}: the minimal FIFO split, class-level
+    for static priority, share-based for GPS, discipline-agnostic for
+    EDF).  Empty for an idle server, all [infinity] past an unstable
+    one. *)
+
+val local_backlog : t -> flow:int -> server:int -> float
+(** The flow's backlog bound at one of its hops.
+    @raise Not_found when the flow does not cross the server. *)
+
+val flow_backlog : t -> int -> float
+(** The flow's buffer requirement: its worst per-hop backlog bound
+    over its route — admission compares this against the flow's
+    [buffer] budget. *)
+
 val server_busy_period : t -> int -> float
 (** Busy-period bound at a server ([0.] for an idle server). *)

@@ -39,24 +39,47 @@ let flow_delay ?options ?strategy net method_ flow =
     d
   end
 
+(* Buffer requirement (worst per-hop backlog bound) of one flow under
+   one method.  Service Curve and FIFO-theta have no backlog notion of
+   their own; the decomposed engine's bound is sound for them too. *)
+let flow_backlog ?options ?strategy net method_ flow =
+  match method_ with
+  | Decomposed | Service_curve | Fifo_theta ->
+      Decomposed.flow_backlog (Decomposed.analyze ?options net) flow
+  | Integrated ->
+      Integrated.flow_backlog (Integrated.analyze ?options ?strategy net) flow
+  | Integrated_sp ->
+      Integrated_sp.flow_backlog
+        (Integrated_sp.analyze ?options ?strategy net)
+        flow
+
 type comparison = {
   flow : int;
   decomposed : float;
   service_curve : float;
   integrated : float;
   fifo_theta : float;
+  decomposed_backlog : float;
+  integrated_backlog : float;
 }
 
 let compare_all ?options ?strategy ?(with_theta = true) net flow =
   (* The four methods are independent whole-network analyses, so run
      them on the netcalc.par pool.  [Par.map] returns results in list
      order whatever the schedule, so the comparison record (and every
-     table built from it) is identical at any jobs count. *)
+     table built from it) is identical at any jobs count.  Backlogs
+     ride along with the delay of the engine that produced them, so the
+     comparison costs no extra analyses. *)
   let run = function
-    | Some Fifo_theta -> flow_delay ?options net Fifo_theta flow
-    | Some Integrated -> flow_delay ?options ?strategy net Integrated flow
-    | Some m -> flow_delay ?options net m flow
-    | None -> nan
+    | Some Fifo_theta -> (flow_delay ?options net Fifo_theta flow, nan)
+    | Some Integrated ->
+        ( flow_delay ?options ?strategy net Integrated flow,
+          flow_backlog ?options ?strategy net Integrated flow )
+    | Some Decomposed ->
+        ( flow_delay ?options net Decomposed flow,
+          flow_backlog ?options net Decomposed flow )
+    | Some m -> (flow_delay ?options net m flow, nan)
+    | None -> (nan, nan)
   in
   match
     Par.map run
@@ -65,8 +88,21 @@ let compare_all ?options ?strategy ?(with_theta = true) net flow =
         (if with_theta then Some Fifo_theta else None);
       ]
   with
-  | [ decomposed; service_curve; integrated; fifo_theta ] ->
-      { flow; decomposed; service_curve; integrated; fifo_theta }
+  | [
+   (decomposed, decomposed_backlog);
+   (service_curve, _);
+   (integrated, integrated_backlog);
+   (fifo_theta, _);
+  ] ->
+      {
+        flow;
+        decomposed;
+        service_curve;
+        integrated;
+        fifo_theta;
+        decomposed_backlog;
+        integrated_backlog;
+      }
   | _ -> assert false
 
 let relative_improvement dx dy =

@@ -23,12 +23,25 @@ val flow_delay :
 (** Delay bound of one flow under one method.  [strategy] (default
     [Pairing.Greedy]) only affects [Integrated]. *)
 
+val flow_backlog :
+  ?options:Options.t ->
+  ?strategy:Pairing.strategy ->
+  Network.t ->
+  method_ ->
+  int ->
+  float
+(** Buffer requirement of one flow under one method: its worst per-hop
+    backlog bound over its route.  Service Curve and FIFO-theta borrow
+    the decomposed engine's bounds, which are sound for them too. *)
+
 type comparison = {
   flow : int;
   decomposed : float;
   service_curve : float;
   integrated : float;
   fifo_theta : float;
+  decomposed_backlog : float;  (** buffer requirement, decomposed *)
+  integrated_backlog : float;  (** buffer requirement, integrated *)
 }
 
 val compare_all :

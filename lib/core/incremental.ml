@@ -43,6 +43,7 @@ let net_key ?(options = Options.default) ?strategy net =
           f.deadline,
           f.priority,
           f.weight,
+          f.buffer,
           Pwl.uid (Flow.source_curve f) ))
       (Network.flows net)
   in

@@ -4,6 +4,8 @@ type t = {
   envs : Propagation.env_table;
   contributions : (int * int, float) Hashtbl.t; (* (flow, subnet idx) *)
   poisoned : (int * int, unit) Hashtbl.t;       (* (flow, server) *)
+  server_backlogs : (int, float) Hashtbl.t;
+  flow_backlogs : (int * int, float) Hashtbl.t; (* (flow, server) *)
 }
 
 let network t = t.net
@@ -48,6 +50,32 @@ let analyze_with_pairing ?(options = Options.default) net pairing_list =
   let envs = Propagation.create net in
   let contributions = Hashtbl.create 64 in
   let poisoned = Hashtbl.create 4 in
+  let server_backlogs = Hashtbl.create 16 in
+  let flow_backlogs = Hashtbl.create 64 in
+  (* Backlog bookkeeping: per-server aggregate bound plus the minimal
+     per-flow split, computed from the same integrated input windows
+     the delay analysis uses.  [alphas] pairs each present flow with
+     its envelope at the server's input (for transit flows at the
+     second server of a pair, the delay-inflated upstream envelope,
+     which the env table never holds). *)
+  let record_backlogs sid ~agg ~alphas =
+    let rate = (Network.server net sid).Server.rate in
+    Hashtbl.replace server_backlogs sid (Fifo.backlog ~rate ~agg);
+    let beta = Pwl.affine ~y0:0. ~slope:rate in
+    List.iter
+      (fun ((f : Flow.t), alpha_i) ->
+        Hashtbl.replace flow_backlogs (f.id, sid)
+          (match alpha_i with
+          | Some alpha_i -> Deviation.vdev_per_flow ~alpha_i ~agg ~beta
+          | None -> infinity))
+      alphas
+  in
+  let record_backlogs_bad sid flows =
+    Hashtbl.replace server_backlogs sid infinity;
+    List.iter
+      (fun (f : Flow.t) -> Hashtbl.replace flow_backlogs (f.id, sid) infinity)
+      flows
+  in
   let record idx (f : Flow.t) ~entry ~last d =
     Hashtbl.replace contributions (f.id, idx) d;
     if d = infinity then poison_rest poisoned f ~from:last
@@ -69,12 +97,23 @@ let analyze_with_pairing ?(options = Options.default) net pairing_list =
                 present
             in
             let d =
-              if bad then infinity
-              else
-                Fifo.local_delay ~rate:(Network.server net u).Server.rate
-                  ~agg:
-                    (Propagation.aggregate_input ~options net envs ~server:u
-                       ~flows:present)
+              if bad then begin
+                record_backlogs_bad u present;
+                infinity
+              end
+              else begin
+                let agg =
+                  Propagation.aggregate_input ~options net envs ~server:u
+                    ~flows:present
+                in
+                record_backlogs u ~agg
+                  ~alphas:
+                    (List.map
+                       (fun (f : Flow.t) ->
+                         (f, Some (Propagation.get envs ~flow:f.id ~server:u)))
+                       present);
+                Fifo.local_delay ~rate:(Network.server net u).Server.rate ~agg
+              end
             in
             List.iter (fun f -> record idx f ~entry:u ~last:u d) present
           end
@@ -99,23 +138,62 @@ let analyze_with_pairing ?(options = Options.default) net pairing_list =
                  s2
           in
           let result =
-            if bad then
+            if bad then begin
+              record_backlogs_bad u at_u;
+              record_backlogs_bad v at_v;
               {
                 Pair_analysis.d_pair = infinity;
                 d1 = infinity;
                 d2 = infinity;
                 busy1 = infinity;
                 busy2 = infinity;
+                b1 = infinity;
+                b2 = infinity;
               }
-            else
-              Pair_analysis.analyze
-                {
-                  c1 = (Network.server net u).Server.rate;
-                  c2 = (Network.server net v).Server.rate;
-                  s12 = [ class_envelope options net envs ~server:u s12 ];
-                  s1 = [ class_envelope options net envs ~server:u s1 ];
-                  s2 = [ class_envelope options net envs ~server:v s2 ];
-                }
+            end
+            else begin
+              let g12 = class_envelope options net envs ~server:u s12 in
+              let g1 = class_envelope options net envs ~server:u s1 in
+              let g2 = class_envelope options net envs ~server:v s2 in
+              let c1 = (Network.server net u).Server.rate in
+              let result =
+                Pair_analysis.analyze
+                  {
+                    c1;
+                    c2 = (Network.server net v).Server.rate;
+                    s12 = [ g12 ];
+                    s1 = [ g1 ];
+                    s2 = [ g2 ];
+                  }
+              in
+              let env_at s (f : Flow.t) =
+                Propagation.get envs ~flow:f.id ~server:s
+              in
+              record_backlogs u
+                ~agg:(Pwl.add g12 g1)
+                ~alphas:
+                  (List.map (fun f -> (f, Some (env_at u f))) (s12 @ s1));
+              (* At server v the transit aggregate is the integrated
+                 window (link-capped, delay-inflated as a whole); each
+                 transit flow's own envelope there is its upstream one
+                 shifted by the server-1 class bound d1. *)
+              let d1 = result.Pair_analysis.d1 in
+              let link = Pwl.affine ~y0:0. ~slope:c1 in
+              let transit =
+                if d1 = infinity then link
+                else Pwl.min_pw link (Pwl.shift_left g12 d1)
+              in
+              record_backlogs v ~agg:(Pwl.add transit g2)
+                ~alphas:
+                  (List.map
+                     (fun (f : Flow.t) ->
+                       if Float_ops.is_finite d1 then
+                         (f, Some (Pwl.shift_left (env_at u f) d1))
+                       else (f, None))
+                     s12
+                  @ List.map (fun f -> (f, Some (env_at v f))) s2);
+              result
+            end
           in
           List.iter
             (fun f -> record idx f ~entry:u ~last:v result.Pair_analysis.d_pair)
@@ -127,7 +205,7 @@ let analyze_with_pairing ?(options = Options.default) net pairing_list =
             (fun f -> record idx f ~entry:v ~last:v result.Pair_analysis.d2)
             s2)
     pairing;
-  { net; pairing; envs; contributions; poisoned }
+  { net; pairing; envs; contributions; poisoned; server_backlogs; flow_backlogs }
 
 let memo : t Incremental.table = Incremental.table ()
 
@@ -165,3 +243,22 @@ let envelope_at t ~flow ~server =
   if Hashtbl.mem t.poisoned (flow, server) then
     invalid_arg "Integrated.envelope_at: unbounded envelope"
   else Propagation.get t.envs ~flow ~server
+
+let server_backlog t sid =
+  match Hashtbl.find_opt t.server_backlogs sid with Some b -> b | None -> 0.
+
+let local_backlog t ~flow ~server =
+  match Hashtbl.find_opt t.flow_backlogs (flow, server) with
+  | Some b -> b
+  | None -> raise Not_found
+
+let server_flow_backlogs t sid =
+  Network.flows_at t.net sid
+  |> List.map (fun (f : Flow.t) -> (f.id, local_backlog t ~flow:f.id ~server:sid))
+  |> List.sort compare
+
+let flow_backlog t id =
+  let f = Network.flow t.net id in
+  List.fold_left
+    (fun acc s -> Float.max acc (local_backlog t ~flow:id ~server:s))
+    0. f.route

@@ -42,3 +42,22 @@ val subnet_delay : t -> flow:int -> subnet:Pairing.subnet -> float
 
 val envelope_at : t -> flow:int -> server:int -> Pwl.t
 (** Input envelope of a flow at a hop as propagated by this analysis. *)
+
+val server_backlog : t -> int -> float
+(** Aggregate backlog bound at a server, computed from the integrated
+    input window (for the second server of a pair: link-capped,
+    delay-inflated transit plus fresh traffic) — typically below the
+    decomposed bound, since the integrated envelopes are tighter.
+    [0.] for an idle server, [infinity] past an unstable one. *)
+
+val server_flow_backlogs : t -> int -> (int * float) list
+(** Per-flow backlog bounds at a server ({!Deviation.vdev_per_flow}
+    against the integrated window), [(flow id, bound)] in id order. *)
+
+val local_backlog : t -> flow:int -> server:int -> float
+(** The flow's backlog bound at one of its hops.
+    @raise Not_found when the flow does not cross the server. *)
+
+val flow_backlog : t -> int -> float
+(** The flow's buffer requirement: its worst per-hop backlog bound
+    over its route. *)

@@ -4,6 +4,8 @@ type t = {
   envs : Propagation.env_table;
   contributions : (int * int, float) Hashtbl.t; (* (flow, subnet idx) *)
   poisoned : (int * int, unit) Hashtbl.t;       (* (flow, server) *)
+  server_backlogs : (int, float) Hashtbl.t;     (* sum over classes *)
+  flow_backlogs : (int * int, float) Hashtbl.t; (* (flow, server) *)
 }
 
 let network t = t.net
@@ -57,7 +59,36 @@ let analyze_raw ~options ~strategy net =
   let envs = Propagation.create net in
   let contributions = Hashtbl.create 64 in
   let poisoned = Hashtbl.create 4 in
+  let server_backlogs = Hashtbl.create 16 in
+  let flow_backlogs = Hashtbl.create 64 in
   let env_at (f : Flow.t) sid = Propagation.get envs ~flow:f.id ~server:sid in
+  (* Backlog bookkeeping, one class at a time: the class queue is
+     bounded by its vertical deviation from the class's leftover
+     service, the server by the sum over its classes, and each flow by
+     the minimal FIFO split within its class (service is FIFO inside a
+     priority class). *)
+  let add_server_backlog sid b =
+    let cur =
+      match Hashtbl.find_opt server_backlogs sid with Some x -> x | None -> 0.
+    in
+    Hashtbl.replace server_backlogs sid (cur +. b)
+  in
+  let record_class_backlogs sid ~beta ~agg ~alphas =
+    add_server_backlog sid (Deviation.vdev ~alpha:agg ~beta);
+    List.iter
+      (fun ((f : Flow.t), alpha_i) ->
+        Hashtbl.replace flow_backlogs (f.id, sid)
+          (match alpha_i with
+          | Some alpha_i -> Deviation.vdev_per_flow ~alpha_i ~agg ~beta
+          | None -> infinity))
+      alphas
+  in
+  let record_class_backlogs_bad sid flows =
+    add_server_backlog sid infinity;
+    List.iter
+      (fun (f : Flow.t) -> Hashtbl.replace flow_backlogs (f.id, sid) infinity)
+      flows
+  in
   let agg sid flows =
     if flows = [] then Pwl.zero
     else Propagation.aggregate_input ~options net envs ~server:sid ~flows
@@ -89,14 +120,21 @@ let analyze_raw ~options ~strategy net =
                   (mine @ higher)
               in
               let d =
-                if bad then infinity
-                else
-                  Pair_analysis.single_general
-                    ~beta:
-                      (Static_priority.class_service ~rate
-                         ~higher:(agg u higher)
-                         ~blocking:options.Options.sp_blocking ())
-                    ~agg:(agg u mine)
+                if bad then begin
+                  record_class_backlogs_bad u mine;
+                  infinity
+                end
+                else begin
+                  let beta =
+                    Static_priority.class_service ~rate ~higher:(agg u higher)
+                      ~blocking:options.Options.sp_blocking ()
+                  in
+                  let own = agg u mine in
+                  record_class_backlogs u ~beta ~agg:own
+                    ~alphas:
+                      (List.map (fun f -> (f, Some (env_at f u))) mine);
+                  Pair_analysis.single_general ~beta ~agg:own
+                end
               in
               List.iter (fun f -> record idx f ~entry:u ~last:u d) mine)
             (sorted_classes net u present)
@@ -145,15 +183,21 @@ let analyze_raw ~options ~strategy net =
                      (fun (f : Flow.t) -> Hashtbl.mem poisoned (f.id, v))
                      (s2 @ higher_s2)
               in
+              let record_bad () =
+                record_class_backlogs_bad u (s12 @ s1);
+                record_class_backlogs_bad v (s12 @ s2);
+                {
+                  Pair_analysis.d_pair = infinity;
+                  d1 = infinity;
+                  d2 = infinity;
+                  busy1 = infinity;
+                  busy2 = infinity;
+                  b1 = infinity;
+                  b2 = infinity;
+                }
+              in
               let result =
-                if bad then
-                  {
-                    Pair_analysis.d_pair = infinity;
-                    d1 = infinity;
-                    d2 = infinity;
-                    busy1 = infinity;
-                    busy2 = infinity;
-                  }
+                if bad then record_bad ()
                 else begin
                   (* Higher-priority arrivals at server 2: fresh s2
                      flows with their propagated envelopes, plus the
@@ -194,24 +238,36 @@ let analyze_raw ~options ~strategy net =
                   in
                   if
                     Pwl.final_slope beta1 <= 0. || Pwl.final_slope beta2 <= 0.
-                  then
-                    {
-                      Pair_analysis.d_pair = infinity;
-                      d1 = infinity;
-                      d2 = infinity;
-                      busy1 = infinity;
-                      busy2 = infinity;
-                    }
-                  else
-                    Pair_analysis.analyze_general
-                      {
-                        link1 = rate_u;
-                        beta1;
-                        beta2;
-                        g12 = agg u s12;
-                        g1 = agg u s1;
-                        g2 = agg v s2;
-                      }
+                  then record_bad ()
+                  else begin
+                    let g12 = agg u s12 in
+                    let g1 = agg u s1 in
+                    let g2 = agg v s2 in
+                    let result =
+                      Pair_analysis.analyze_general
+                        { link1 = rate_u; beta1; beta2; g12; g1; g2 }
+                    in
+                    record_class_backlogs u ~beta:beta1 ~agg:(Pwl.add g12 g1)
+                      ~alphas:
+                        (List.map (fun f -> (f, Some (env_at f u))) (s12 @ s1));
+                    let d1 = result.Pair_analysis.d1 in
+                    let link = Pwl.affine ~y0:0. ~slope:rate_u in
+                    let transit =
+                      if d1 = infinity then link
+                      else Pwl.min_pw link (Pwl.shift_left g12 d1)
+                    in
+                    record_class_backlogs v ~beta:beta2
+                      ~agg:(Pwl.add transit g2)
+                      ~alphas:
+                        (List.map
+                           (fun (f : Flow.t) ->
+                             if Float_ops.is_finite d1 then
+                               (f, Some (Pwl.shift_left (env_at f u) d1))
+                             else (f, None))
+                           s12
+                        @ List.map (fun f -> (f, Some (env_at f v))) s2);
+                    result
+                  end
                 end
               in
               Hashtbl.replace d1_by_class p result.Pair_analysis.d1;
@@ -227,7 +283,7 @@ let analyze_raw ~options ~strategy net =
                 s2)
             classes)
     pairing;
-  { net; pairing; envs; contributions; poisoned }
+  { net; pairing; envs; contributions; poisoned; server_backlogs; flow_backlogs }
 
 let memo : t Incremental.table = Incremental.table ()
 
@@ -255,3 +311,23 @@ let envelope_at t ~flow ~server =
   if Hashtbl.mem t.poisoned (flow, server) then
     invalid_arg "Integrated_sp.envelope_at: unbounded envelope"
   else Propagation.get t.envs ~flow ~server
+
+let server_backlog t sid =
+  match Hashtbl.find_opt t.server_backlogs sid with Some b -> b | None -> 0.
+
+let local_backlog t ~flow ~server =
+  match Hashtbl.find_opt t.flow_backlogs (flow, server) with
+  | Some b -> b
+  | None -> raise Not_found
+
+let server_flow_backlogs t sid =
+  Network.flows_at t.net sid
+  |> List.map (fun (f : Flow.t) ->
+         (f.id, local_backlog t ~flow:f.id ~server:sid))
+  |> List.sort compare
+
+let flow_backlog t id =
+  let f = Network.flow t.net id in
+  List.fold_left
+    (fun acc s -> Float.max acc (local_backlog t ~flow:id ~server:s))
+    0. f.route

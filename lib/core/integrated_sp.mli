@@ -35,3 +35,22 @@ val all_flow_delays : t -> (int * float) list
 
 val envelope_at : t -> flow:int -> server:int -> Pwl.t
 (** Input envelope of a flow at a hop as propagated by this analysis. *)
+
+val server_backlog : t -> int -> float
+(** Aggregate backlog bound at a server: the sum over its priority
+    classes of the class queue's vertical deviation from the class's
+    leftover service, computed on the integrated input windows.  [0.]
+    for an idle server, [infinity] past an unstable one. *)
+
+val server_flow_backlogs : t -> int -> (int * float) list
+(** Per-flow backlog bounds at a server, [(flow id, bound)] in id
+    order: the minimal FIFO split within the flow's class (service is
+    FIFO inside a priority class). *)
+
+val local_backlog : t -> flow:int -> server:int -> float
+(** The flow's backlog bound at one of its hops.
+    @raise Not_found when the flow does not cross the server. *)
+
+val flow_backlog : t -> int -> float
+(** The flow's buffer requirement: its worst per-hop backlog bound
+    over its route. *)

@@ -36,7 +36,9 @@ let decomposed a =
   buffer_add_table buf servers;
   Buffer.add_char buf '\n';
   let flows =
-    Table.create ~header:[ "flow"; "route"; "bound"; "per-hop"; "deadline" ]
+    Table.create
+      ~header:
+        [ "flow"; "route"; "bound"; "per-hop"; "deadline"; "buffer need" ]
   in
   List.iter
     (fun (f : Flow.t) ->
@@ -54,6 +56,7 @@ let decomposed a =
           (match f.deadline with
           | Some d -> Table.float_cell d
           | None -> "-");
+          Table.float_cell (Decomposed.flow_backlog a f.id);
         ])
     (Network.flows net);
   buffer_add_table buf flows;
@@ -65,8 +68,21 @@ let integrated a =
   header buf net "Integrated (pairwise) analysis";
   Buffer.add_string buf
     (Format.asprintf "Pairing: %a@.@." Pairing.pp (Integrated.pairing a));
+  let servers = Table.create ~header:[ "server"; "rate"; "backlog" ] in
+  List.iter
+    (fun (s : Server.t) ->
+      Table.add_row servers
+        [
+          s.name;
+          Table.float_cell s.rate;
+          Table.float_cell (Integrated.server_backlog a s.id);
+        ])
+    (Network.servers net);
+  buffer_add_table buf servers;
+  Buffer.add_char buf '\n';
   let flows =
-    Table.create ~header:[ "flow"; "route"; "bound"; "per-subnetwork" ]
+    Table.create
+      ~header:[ "flow"; "route"; "bound"; "per-subnetwork"; "buffer need" ]
   in
   List.iter
     (fun (f : Flow.t) ->
@@ -87,6 +103,7 @@ let integrated a =
           route_names net f;
           Table.float_cell (Integrated.flow_delay a f.id);
           String.concat " + " contributions;
+          Table.float_cell (Integrated.flow_backlog a f.id);
         ])
     (Network.flows net);
   buffer_add_table buf flows;

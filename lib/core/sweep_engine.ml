@@ -55,6 +55,13 @@ let per_load ?options ~with_theta ~sigma ~peak ~hops u =
     dd_delay.(k + 1) <-
       dd_delay.(k) +. Decomposed.local_delay dd ~flow:0 ~server:k
   done;
+  (* Buffer requirement is a running prefix {e max} (the same left fold
+     as [Decomposed.flow_backlog]), over the same shared pass. *)
+  let dd_backlog = Array.make (n_max + 1) 0. in
+  for k = 0 to n_max - 1 do
+    dd_backlog.(k + 1) <-
+      Float.max dd_backlog.(k) (Decomposed.local_backlog dd ~flow:0 ~server:k)
+  done;
   let sc_delay = Array.make (n_max + 1) infinity in
   let conv = ref None and saturated = ref false in
   for k = 0 to n_max - 1 do
@@ -94,6 +101,24 @@ let per_load ?options ~with_theta ~sigma ~peak ~hops u =
            tp.network)
         0
   in
+  let integ_backlog n' =
+    if n' mod 2 = 0 then begin
+      (* Per-server backlogs at servers [< n'] are shared with the max
+         pairing's first [n'/2] pairs; prefix max, as in
+         [Integrated.flow_backlog]. *)
+      let m = ref 0. in
+      for k = 0 to n' - 1 do
+        m := Float.max !m (Integrated.local_backlog integ ~flow:0 ~server:k)
+      done;
+      !m
+    end
+    else
+      let tp = Tandem.make ~n:n' ~utilization:u ~sigma ~peak () in
+      Integrated.flow_backlog
+        (Integrated.analyze ?options ~strategy:(Pairing.Along_route 0)
+           tp.network)
+        0
+  in
   let theta_delay n' =
     if not with_theta then nan
     else
@@ -109,6 +134,8 @@ let per_load ?options ~with_theta ~sigma ~peak ~hops u =
         service_curve = sc_delay.(n');
         integrated = integ_delay n';
         fifo_theta = theta_delay n';
+        decomposed_backlog = dd_backlog.(n');
+        integrated_backlog = integ_backlog n';
       })
     hops
 

@@ -18,6 +18,23 @@ val vdev : alpha:Pwl.t -> beta:Pwl.t -> float
 (** [vdev ~alpha ~beta = sup_{t >= 0} (alpha t - beta t)] — the backlog
     bound.  [infinity] when [alpha] outgrows [beta]. *)
 
+val vdev_per_flow : alpha_i:Pwl.t -> agg:Pwl.t -> beta:Pwl.t -> float
+(** Minimal per-flow backlog bound at a FIFO aggregate server
+    (the arXiv 2506.16914 refinement).  The server offers service
+    [beta] to an aggregate constrained by [agg], of which flow [i]
+    contributes at most [alpha_i]; then flow [i]'s backlog satisfies
+
+    [B_i = sup_{tau >= 0} min (alpha_i (gap tau)) (agg tau - beta tau)]
+
+    where [gap tau = (tau - sup { u : agg u <= beta tau })^+] is the
+    age of the oldest unserved bit at busy-period age [tau]: under
+    FIFO, flow [i] data still queued at age [tau] arrived within the
+    last [gap tau] time units, so at most [alpha_i (gap tau)] of it
+    exists; and no flow holds more than the whole queue
+    [agg tau - beta tau].  Always [<= min (alpha_i (hdev agg beta))
+    (vdev agg beta)] — the naive split — and often strictly below it.
+    [infinity] when the aggregate outgrows [beta]. *)
+
 val delay_fifo_aggregate : agg:Pwl.t -> rate:float -> float
 (** Worst-case delay of a FIFO server of constant rate [rate] whose
     {e aggregate} input is constrained by [agg]:

@@ -36,7 +36,8 @@ type t = {
   envs : Propagation.env_table;
   locals : (int * int, float) Hashtbl.t;    (* (flow, server) -> local bound *)
   poisoned : (int * int, int) Hashtbl.t;    (* (flow, server) -> origin server *)
-  violated : (int, unit) Hashtbl.t;         (* flows missing their deadline *)
+  violated : (int, Admission.reject_reason) Hashtbl.t;
+      (* flows failing a feasibility check, with the reason *)
   mutable admits : int;
   mutable rejects : int;
   mutable teardowns : int;
@@ -62,14 +63,93 @@ let query t id =
   | exception Not_found -> None
   | f -> Some (f, flow_delay t id)
 
+(* Backlog accessors: the same shared [Backlog] code path as
+   [Decomposed], over this engine's incrementally maintained envelope
+   table, so delta backlogs are bit-identical to a from-scratch
+   re-analysis (tested alongside the delay invariant). *)
+let poisoned_server t sid =
+  List.exists
+    (fun (f : Flow.t) -> Hashtbl.mem t.poisoned (f.id, sid))
+    (Network.flows_at t.net sid)
+
+let server_backlog t sid =
+  let present = Network.flows_at t.net sid in
+  if present = [] then 0.
+  else if poisoned_server t sid then infinity
+  else
+    Backlog.server ~options:t.options t.net t.envs ~server:sid ~flows:present
+
+let local_backlog t ~flow ~server =
+  let present = Network.flows_at t.net server in
+  let target =
+    match List.find_opt (fun (f : Flow.t) -> f.id = flow) present with
+    | Some f -> f
+    | None -> raise Not_found
+  in
+  if poisoned_server t server then infinity
+  else
+    match
+      Backlog.per_flow ~options:t.options t.net t.envs ~server ~flows:present
+        ~targets:[ target ]
+        ~local_delay:(fun ~flow -> Hashtbl.find t.locals (flow, server))
+    with
+    | [ (_, b) ] -> b
+    | _ -> assert false
+
+let server_flow_backlogs t sid =
+  let present = Network.flows_at t.net sid in
+  if present = [] then []
+  else if poisoned_server t sid then
+    List.map (fun (f : Flow.t) -> (f.id, infinity)) present |> List.sort compare
+  else
+    Backlog.per_flow ~options:t.options t.net t.envs ~server:sid ~flows:present
+      ~targets:present
+      ~local_delay:(fun ~flow -> Hashtbl.find t.locals (flow, sid))
+    |> List.map (fun ((f : Flow.t), b) -> (f.id, b))
+    |> List.sort compare
+
+let flow_backlog t id =
+  let f = Network.flow t.net id in
+  List.fold_left
+    (fun acc s -> Float.max acc (local_backlog t ~flow:id ~server:s))
+    0. f.Flow.route
+
+(* Mirrors [Admission.flow_violation]: the deadline check first, then —
+   only for flows carrying a buffer budget — per-hop backlogs in route
+   order.  Flows without budgets cost nothing beyond the old deadline
+   check. *)
 let refresh_violation t (f : Flow.t) =
-  match f.deadline with
+  let deadline_v =
+    match f.deadline with
+    | None -> None
+    | Some dl ->
+        let b = flow_delay t f.id in
+        if Admission.deadline_ok ~bound:b ~deadline:dl then None
+        else
+          Some
+            (Admission.Deadline_violated
+               { flow = f.id; bound = b; deadline = dl })
+  in
+  let v =
+    match deadline_v with
+    | Some _ -> deadline_v
+    | None -> (
+        match f.buffer with
+        | None -> None
+        | Some budget ->
+            List.find_map
+              (fun s ->
+                let b = local_backlog t ~flow:f.id ~server:s in
+                if Admission.buffer_ok ~backlog:b ~buffer:budget then None
+                else
+                  Some
+                    (Admission.Buffer_violated
+                       { flow = f.id; server = s; backlog = b; buffer = budget }))
+              f.route)
+  in
+  match v with
   | None -> Hashtbl.remove t.violated f.id
-  | Some dl ->
-      let b = flow_delay t f.id in
-      if Float.is_finite b && b <= dl +. Float_ops.eps then
-        Hashtbl.remove t.violated f.id
-      else Hashtbl.replace t.violated f.id ()
+  | Some reason -> Hashtbl.replace t.violated f.id reason
 
 (* Successor map of the routing DAG, built once per operation. *)
 let successors net =
@@ -260,17 +340,16 @@ let forget_flow t (f : Flow.t) =
     f.route;
   Hashtbl.remove t.violated f.id
 
-(* Lowest-id violated flow, matching Admission.first_violation. *)
+(* Lowest-id violated flow, matching Admission.first_violation.  The
+   stored reason is current: [refresh_violation] re-derives it whenever
+   the flow's route touches a recomputed cone, and outside-cone state
+   cannot move. *)
 let current_violation t =
-  Hashtbl.fold (fun id () acc -> id :: acc) t.violated []
-  |> List.sort Int.compare
+  Hashtbl.fold (fun id reason acc -> (id, reason) :: acc) t.violated []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> function
   | [] -> None
-  | id :: _ ->
-      let f = Network.flow t.net id in
-      let deadline = match f.Flow.deadline with Some d -> d | None -> infinity in
-      Some
-        (Admission.Deadline_violated { flow = id; bound = flow_delay t id; deadline })
+  | (_, reason) :: _ -> Some reason
 
 let admit t (cand : Flow.t) =
   match cand.deadline with

@@ -61,6 +61,23 @@ val all_flow_delays : t -> (int * float) list
 (** [(flow id, bound)] for every flow, in id order — same shape as
     [Decomposed.all_flow_delays]. *)
 
+val server_backlog : t -> int -> float
+(** Aggregate backlog bound at a server — bit-identical to
+    [Decomposed.server_backlog] of a from-scratch analysis (shared
+    {!Backlog} code path over the same envelope table). *)
+
+val server_flow_backlogs : t -> int -> (int * float) list
+(** Per-flow backlog bounds at a server, [(flow id, bound)] in id order
+    — bit-identical to [Decomposed.server_flow_backlogs]. *)
+
+val local_backlog : t -> flow:int -> server:int -> float
+(** The flow's backlog bound at one of its hops.
+    @raise Not_found when the flow does not cross the server. *)
+
+val flow_backlog : t -> int -> float
+(** The flow's buffer requirement: its worst per-hop backlog bound over
+    its route.  @raise Not_found for an absent flow. *)
+
 val network : t -> Network.t
 (** Current network; flow list order is base order + admission order
     (what a from-scratch comparison must replicate). *)

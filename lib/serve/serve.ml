@@ -73,11 +73,12 @@ let flow_of_json j =
       let route = req "route" to_route j in
       let peak = field "peak" Sjson.to_float j in
       let deadline = field "deadline" Sjson.to_float j in
+      let buffer = field "buffer" Sjson.to_float j in
       let priority = field "priority" Sjson.to_int j in
       let weight = field "weight" Sjson.to_float j in
       let name = field "name" Sjson.to_string j in
       let arrival = Arrival.token_bucket ?peak ~sigma ~rho () in
-      Flow.make ~id ?name ~arrival ~route ?deadline ?priority ?weight ()
+      Flow.make ~id ?name ~arrival ~route ?deadline ?buffer ?priority ?weight ()
   | _ -> raise (Bad_request "\"flow\" must be an object")
 
 (* ------------------------------------------------------------------ *)
@@ -98,8 +99,16 @@ let reason_fields = function
       [
         str "reason" "deadline_violated";
         int "violating_flow" flow;
-        ("violating_bound", Sjson.float_or_null bound);
+        ("violating_bound", Sjson.float_repr bound);
         ("violating_deadline", Sjson.Num deadline);
+      ]
+  | Admission.Buffer_violated { flow; server; backlog; buffer } ->
+      [
+        str "reason" "buffer_violated";
+        int "violating_flow" flow;
+        int "violating_server" server;
+        ("violating_backlog", Sjson.float_repr backlog);
+        ("violating_buffer", Sjson.Num buffer);
       ]
 
 let bad_request msg = obj [ ok false; str "error" "bad_request"; str "detail" msg ]
@@ -130,9 +139,12 @@ let do_admit t (cand : Flow.t) =
     | E_delta e -> (
         match Delta_engine.admit e cand with
         | Delta_engine.Admitted { bound; stats } ->
+            let backlog = Delta_engine.flow_backlog e cand.id in
             obj
               ((ok true :: head)
-              @ (("bound", Sjson.float_or_null bound) :: delta_fields stats))
+              @ ("bound", Sjson.float_repr bound)
+                :: ("backlog", Sjson.float_repr backlog)
+                :: delta_fields stats)
         | Delta_engine.Rejected { reason; stats } ->
             obj
               ((ok false :: head)
@@ -147,9 +159,16 @@ let do_admit t (cand : Flow.t) =
             f.f_flows <- f.f_flows @ [ cand ];
             f.f_admits <- f.f_admits + 1;
             let bound = List.assoc cand.id bounds in
+            let backlog =
+              Engine.flow_backlog ~options:f.f_options
+                (Network.make ~servers:f.f_servers ~flows:f.f_flows)
+                f.f_method cand.id
+            in
             obj
               ((ok true :: head)
-              @ (("bound", Sjson.float_or_null bound) :: full_op_fields f))
+              @ ("bound", Sjson.float_repr bound)
+                :: ("backlog", Sjson.float_repr backlog)
+                :: full_op_fields f)
         | Admission.Rejected reason ->
             f.f_rejects <- f.f_rejects + 1;
             obj
@@ -176,15 +195,18 @@ let do_teardown t id =
           @ full_op_fields f)
       end
 
-let query_response (f : Flow.t) bound =
+let query_response (f : Flow.t) bound backlog =
   obj
     [
       ok true;
       str "op" "query";
       int "flow" f.id;
-      ("bound", Sjson.float_or_null bound);
+      ("bound", Sjson.float_repr bound);
+      ("backlog", Sjson.float_repr backlog);
       ( "deadline",
         match f.deadline with Some d -> Sjson.Num d | None -> Sjson.Null );
+      ( "buffer",
+        match f.buffer with Some b -> Sjson.Num b | None -> Sjson.Null );
       ("route", Sjson.List (List.map Sjson.num_of_int f.route));
     ]
 
@@ -193,7 +215,7 @@ let do_query t id =
   | E_delta e -> (
       match Delta_engine.query e id with
       | None -> unknown_flow "query" id
-      | Some (f, bound) -> query_response f bound)
+      | Some (f, bound) -> query_response f bound (Delta_engine.flow_backlog e id))
   | E_full f -> (
       match List.find_opt (fun (g : Flow.t) -> g.Flow.id = id) f.f_flows with
       | None -> unknown_flow "query" id
@@ -202,7 +224,12 @@ let do_query t id =
             Admission.bounds_for ~options:f.f_options ~servers:f.f_servers
               f.f_flows f.f_method
           in
-          query_response flow (List.assoc id bounds))
+          let backlog =
+            Engine.flow_backlog ~options:f.f_options
+              (Network.make ~servers:f.f_servers ~flows:f.f_flows)
+              f.f_method id
+          in
+          query_response flow (List.assoc id bounds) backlog)
 
 let do_stats t =
   let engine_name, servers, flows, rate, admits, rejects, teardowns, cone, reused

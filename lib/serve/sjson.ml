@@ -212,11 +212,18 @@ let parse s =
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* JSON has no non-finite numbers.  Rendering them as [null] (the old
+   behaviour) conflated "unbounded" with "absent", so clients could not
+   tell an unstable flow's infinite bound from a missing field; the
+   protocol instead uses unambiguous string sentinels. *)
+let nonfinite_repr x =
+  if Float.is_nan x then "nan" else if Float.sign_bit x then "-inf" else "inf"
+
 (* Shortest representation that round-trips: try increasing precision,
    settle for full 17 digits.  Deterministic, so protocol transcripts
    can be pinned byte-for-byte. *)
 let render_float x =
-  if not (Float.is_finite x) then "null"
+  if not (Float.is_finite x) then "\"" ^ nonfinite_repr x ^ "\""
   else if Float_ops.eq_exact (Float.rem x 1.) 0. && Float.abs x < 1e15 then
     Printf.sprintf "%.0f" x
   else
@@ -282,13 +289,18 @@ let render v =
 (* ------------------------------------------------------------------ *)
 
 let num_of_int i = Num (float_of_int i)
-let float_or_null x = if Float.is_finite x then Num x else Null
+let float_repr x = if Float.is_finite x then Num x else Str (nonfinite_repr x)
 
 let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
 
-let to_float = function Num x -> Some x | _ -> None
+let to_float = function
+  | Num x -> Some x
+  | Str "inf" -> Some infinity
+  | Str "-inf" -> Some neg_infinity
+  | Str "nan" -> Some nan
+  | _ -> None
 
 let to_int = function
   | Num x

@@ -24,16 +24,20 @@ val parse : string -> t
 
 val render : t -> string
 (** Compact single-line rendering (no spaces, keys in listed order).
-    Non-finite numbers render as [null] — they are not JSON. *)
+    Non-finite numbers are not JSON; they render as the string
+    sentinels ["inf"], ["-inf"], ["nan"] so clients can distinguish an
+    unbounded value from an absent field. *)
 
 val num_of_int : int -> t
-val float_or_null : float -> t
-(** [Num x] when finite, [Null] otherwise. *)
+val float_repr : float -> t
+(** [Num x] when finite; the matching sentinel [Str] otherwise. *)
 
 val member : string -> t -> t option
 (** Field lookup in an [Obj]; [None] on absence or non-objects. *)
 
 val to_float : t -> float option
+(** [Num]s, plus the non-finite string sentinels. *)
+
 val to_int : t -> int option
 (** Integral [Num]s only. *)
 

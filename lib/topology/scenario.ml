@@ -93,10 +93,14 @@ let parse_flow line = function
       let weight =
         Option.map (float_attr line "weight") (lookup attrs "weight")
       in
+      let buffer =
+        Option.map (float_attr line "buffer") (lookup attrs "buffer")
+      in
       let name = lookup attrs "name" in
       (try
          let arrival = Arrival.token_bucket ~peak ~sigma ~rho () in
-         Flow.make ~id ?name ~arrival ~route ?deadline ?priority ?weight ()
+         Flow.make ~id ?name ~arrival ~route ?deadline ?priority ?weight
+           ?buffer ()
        with Invalid_argument m -> fail line "%s" m)
   | [] -> fail line "flow: missing id"
 
@@ -151,9 +155,12 @@ let to_string net =
            f.id (float_str sigma) (float_str rho) (float_str peak)
            (String.concat "," (List.map string_of_int f.route))
            f.priority (float_str f.weight)
-           (match f.deadline with
-           | Some d -> " deadline=" ^ float_str d
-           | None -> "")
+           (match (f.deadline, f.buffer) with
+           | Some d, Some b ->
+               " deadline=" ^ float_str d ^ " buffer=" ^ float_str b
+           | Some d, None -> " deadline=" ^ float_str d
+           | None, Some b -> " buffer=" ^ float_str b
+           | None, None -> "")
            f.name))
     (Network.flows net);
   Buffer.contents buf

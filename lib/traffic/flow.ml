@@ -6,10 +6,11 @@ type t = {
   deadline : float option;
   priority : int;
   weight : float;
+  buffer : float option;
 }
 
-let make ~id ?name ~arrival ~route ?deadline ?(priority = 0) ?(weight = 1.) ()
-    =
+let make ~id ?name ~arrival ~route ?deadline ?(priority = 0) ?(weight = 1.)
+    ?buffer () =
   if route = [] then invalid_arg "Flow.make: empty route";
   let sorted = List.sort_uniq compare route in
   if List.length sorted <> List.length route then
@@ -18,8 +19,11 @@ let make ~id ?name ~arrival ~route ?deadline ?(priority = 0) ?(weight = 1.) ()
   (match deadline with
   | Some d when d <= 0. -> invalid_arg "Flow.make: nonpositive deadline"
   | _ -> ());
+  (match buffer with
+  | Some b when b <= 0. -> invalid_arg "Flow.make: nonpositive buffer"
+  | _ -> ());
   let name = match name with Some n -> n | None -> "flow" ^ string_of_int id in
-  { id; name; arrival; route; deadline; priority; weight }
+  { id; name; arrival; route; deadline; priority; weight; buffer }
 
 let source_curve f = Arrival.curve f.arrival
 let rate f = Arrival.rate f.arrival

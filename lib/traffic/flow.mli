@@ -13,6 +13,9 @@ type t = private {
   deadline : float option;  (** end-to-end deadline (admission control) *)
   priority : int;       (** static-priority class; lower = more urgent *)
   weight : float;       (** GPS weight *)
+  buffer : float option;
+      (** per-hop buffer budget: admission requires the flow's backlog
+          bound at every server on its route to stay within this *)
 }
 
 val make :
@@ -23,11 +26,13 @@ val make :
   ?deadline:float ->
   ?priority:int ->
   ?weight:float ->
+  ?buffer:float ->
   unit ->
   t
 (** [name] defaults to ["flow<id>"], [priority] to [0], [weight] to
     [1.].  @raise Invalid_argument on an empty route, a route visiting a
-    server twice, nonpositive weight, or a nonpositive deadline. *)
+    server twice, nonpositive weight, or a nonpositive deadline or
+    buffer budget. *)
 
 val source_curve : t -> Pwl.t
 (** Envelope of the flow at its entry point. *)

@@ -126,6 +126,119 @@ let test_buffer_dimensioning_no_loss () =
   Alcotest.(check int) "zero drops with dimensioned buffers" 0
     (Sim.total_drops res)
 
+let test_per_flow_refinement_hand_example () =
+  (* Two token buckets through a rate-1 FIFO server.  The naive split
+     min (alpha_1 (hdev agg beta)) (vdev agg beta) gives 4.6 for flow 1;
+     the FIFO-age argument tightens it to 31/7 because at the time the
+     queue peaks, flow 1's freshest queued bits are younger than the
+     worst-case delay. *)
+  let alpha1 = Pwl.affine ~y0:3. ~slope:0.2 in
+  let alpha2 = Pwl.affine ~y0:5. ~slope:0.3 in
+  let agg = Pwl.add alpha1 alpha2 in
+  let beta = Pwl.affine ~y0:0. ~slope:1. in
+  let refined = Deviation.vdev_per_flow ~alpha_i:alpha1 ~agg ~beta in
+  let naive =
+    Float.min
+      (Pwl.eval alpha1 (Deviation.hdev ~alpha:agg ~beta))
+      (Deviation.vdev ~alpha:agg ~beta)
+  in
+  approx ~tol:1e-9 "refined bound" (31. /. 7.) refined;
+  approx ~tol:1e-9 "naive bound" 4.6 naive;
+  check_bool "strictly tighter than the naive split" true
+    (refined < naive -. 0.1)
+
+let prop_per_flow_below_naive =
+  qtest ~count:150 "per-flow refinement never exceeds the naive split"
+    QCheck2.Gen.(triple gen_concave gen_concave gen_rate)
+    (fun (alpha1, alpha2, rate) ->
+      let agg = Pwl.add alpha1 alpha2 in
+      let beta = Pwl.affine ~y0:0. ~slope:rate in
+      let refined = Deviation.vdev_per_flow ~alpha_i:alpha1 ~agg ~beta in
+      let vdev = Deviation.vdev ~alpha:agg ~beta in
+      if not (Float.is_finite vdev) then
+        (* Unstable aggregate: both bounds blow up. *)
+        refined = infinity
+      else
+        let naive =
+          Float.min (Pwl.eval alpha1 (Deviation.hdev ~alpha:agg ~beta)) vdev
+        in
+        refined <= naive +. 1e-6 *. Float.max 1. naive)
+
+let test_per_flow_accessors_consistent () =
+  (* The per-flow bounds partition consistently: each is at most the
+     server aggregate bound, matches the local accessor, and the
+     flow-level buffer need is the max over the route. *)
+  let t = Tandem.make ~n:4 ~utilization:0.7 () in
+  let net = t.network in
+  let a = Decomposed.analyze net in
+  List.iter
+    (fun (s : Server.t) ->
+      let b_agg = Decomposed.server_backlog a s.id in
+      List.iter
+        (fun (fid, b) ->
+          check_bool
+            (Printf.sprintf "flow %d at %s within aggregate" fid s.name)
+            true
+            (b <= b_agg +. 1e-9);
+          approx
+            (Printf.sprintf "accessors agree for flow %d at %s" fid s.name)
+            b
+            (Decomposed.local_backlog a ~flow:fid ~server:s.id))
+        (Decomposed.server_flow_backlogs a s.id))
+    (Network.servers net);
+  List.iter
+    (fun (f : Flow.t) ->
+      let expected =
+        List.fold_left
+          (fun acc s ->
+            Float.max acc (Decomposed.local_backlog a ~flow:f.id ~server:s))
+          0. f.route
+      in
+      approx
+        (Printf.sprintf "flow %d buffer need = max over route" f.id)
+        expected
+        (Decomposed.flow_backlog a f.id))
+    (Network.flows net)
+
+let test_backlog_dominates_random_dags () =
+  (* Same soundness check as the tandem, on random feedforward DAGs. *)
+  let packet_size = 0.05 in
+  List.iter
+    (fun seed ->
+      let net =
+        Randomnet.generate
+          {
+            Randomnet.default with
+            layers = 3;
+            per_layer = 2;
+            num_flows = 6;
+            utilization = 0.75;
+            peak = infinity;
+            seed;
+          }
+      in
+      let a = Decomposed.analyze net in
+      let res =
+        Sim.run
+          ~config:{ Sim.default_config with packet_size; horizon = 200. }
+          net
+      in
+      List.iter
+        (fun (s : Server.t) ->
+          let observed = Sim.server_max_backlog res s.id in
+          let bound = Decomposed.server_backlog a s.id in
+          let allowance =
+            packet_size
+            *. float_of_int (List.length (Network.flows_at net s.id))
+          in
+          check_bool
+            (Printf.sprintf "seed %d server %s: %.3f <= %.3f + %.3f" seed
+               s.name observed bound allowance)
+            true
+            (observed <= bound +. allowance +. 1e-9))
+        (Network.servers net))
+    [ 1; 7; 42; 1999 ]
+
 let test_undersized_buffers_drop () =
   let t = Tandem.make ~n:3 ~utilization:0.8 ~peak:infinity () in
   let net = t.network in
@@ -162,4 +275,10 @@ let suite =
         test_buffer_dimensioning_no_loss;
       test "undersized buffers drop" test_undersized_buffers_drop;
       prop_backlog_at_least_delay_times_nothing;
+      test "per-flow refinement hand example"
+        test_per_flow_refinement_hand_example;
+      prop_per_flow_below_naive;
+      test "per-flow accessors consistent" test_per_flow_accessors_consistent;
+      test "dominates simulation on random DAGs"
+        test_backlog_dominates_random_dags;
     ] )

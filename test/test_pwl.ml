@@ -231,6 +231,19 @@ let test_hdev_unstable () =
   let beta = rate_latency ~rate:2. ~latency:0. in
   approx "unstable hdev" infinity (Deviation.hdev ~alpha ~beta)
 
+let test_vdev_equal_final_slope () =
+  (* Limit case: token bucket vs rate-latency at the {e same} rate.
+     The difference is constant (= sigma + rho T) past the last merged
+     breakpoint; the supremum must be that constant, not infinity and
+     not the value at 0. *)
+  let alpha = token_bucket ~sigma:1. ~rho:0.5 in
+  let beta = rate_latency ~rate:0.5 ~latency:4. in
+  approx "sup_diff at equal final slopes" 3. (Pwl.sup_diff alpha beta);
+  approx "vdev = sigma + rho T" 3. (Deviation.vdev ~alpha ~beta);
+  (* An epsilon-slower server tips it over to unbounded. *)
+  let beta' = rate_latency ~rate:0.499 ~latency:4. in
+  approx "slower server unbounded" infinity (Deviation.vdev ~alpha ~beta:beta')
+
 let test_delay_fifo_aggregate () =
   let agg = token_bucket ~sigma:4. ~rho:0.5 in
   approx "fifo delay" 4. (Deviation.delay_fifo_aggregate ~agg ~rate:1.);
@@ -327,6 +340,7 @@ let suite =
       test "deconv unstable rejected" test_deconv_unstable;
       test "hdev classic formula" test_hdev_classic;
       test "hdev unstable" test_hdev_unstable;
+      test "vdev at equal final slopes" test_vdev_equal_final_slope;
       test "delay_fifo_aggregate" test_delay_fifo_aggregate;
       prop_min_below_both;
       prop_add_pointwise;

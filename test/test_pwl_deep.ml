@@ -129,6 +129,32 @@ let prop_hdev_matches_brute_force =
       exact >= brute -. 1e-4
       && exact -. brute <= 0.05 *. Float.max 1. exact +. 0.2)
 
+let prop_vdev_matches_brute_force =
+  (* alpha concave minus beta convex is concave, so the supremum is
+     attained at a breakpoint of either curve (or at 0), unless the
+     final ray diverges.  Sampling those candidates plus a dense grid
+     must reproduce [Deviation.vdev] exactly in the stable case. *)
+  qtest ~count:100 "vertical deviation matches brute force"
+    QCheck2.Gen.(pair gen_concave gen_convex)
+    (fun (alpha, beta) ->
+      let exact = Deviation.vdev ~alpha ~beta in
+      if Pwl.final_slope alpha > Pwl.final_slope beta +. 1e-9 then
+        exact = infinity
+      else begin
+        let candidates =
+          (0. :: Pwl.breakpoints alpha) @ Pwl.breakpoints beta
+          @ grid 0. 120. 960
+        in
+        let brute =
+          List.fold_left
+            (fun acc t -> Float.max acc (Pwl.eval alpha t -. Pwl.eval beta t))
+            neg_infinity candidates
+        in
+        (not (Float.is_finite exact))
+        || Float.abs (exact -. brute)
+           <= 1e-6 *. Float.max 1. (Float.abs exact)
+      end)
+
 let prop_compose_pointwise =
   qtest ~count:100 "composition is pointwise"
     QCheck2.Gen.(triple gen_convex gen_concave gen_time)
@@ -174,6 +200,7 @@ let suite =
       prop_crossing_under_is_sound;
       prop_deconv_matches_brute_force;
       prop_hdev_matches_brute_force;
+      prop_vdev_matches_brute_force;
       prop_compose_pointwise;
       prop_shift_left_window;
       prop_pseudo_inverse_galois;

@@ -37,7 +37,7 @@ let sample_scenario =
 # two switches, one video flow and one cross flow
 server 0 rate=1
 server 1 rate=1 disc=fifo name=core
-flow 0 sigma=1 rho=0.15 peak=1 route=0,1 name=video deadline=9
+flow 0 sigma=1 rho=0.15 peak=1 route=0,1 name=video deadline=9 buffer=4
 flow 1 sigma=1 rho=0.2 route=0 priority=2 weight=0.5
 |}
 
@@ -48,6 +48,7 @@ let test_parse () =
   let video = Network.flow net 0 in
   Alcotest.(check string) "name" "video" video.name;
   Alcotest.(check (option (float 1e-9))) "deadline" (Some 9.) video.deadline;
+  Alcotest.(check (option (float 1e-9))) "buffer" (Some 4.) video.buffer;
   Alcotest.(check (list int)) "route" [ 0; 1 ] video.route;
   let sigma, rho, peak = Arrival.token_params video.arrival in
   approx "sigma" 1. sigma;
@@ -56,7 +57,14 @@ let test_parse () =
   let cross = Network.flow net 1 in
   Alcotest.(check int) "priority" 2 cross.priority;
   approx "weight" 0.5 cross.weight;
-  Alcotest.(check string) "server name" "core" (Network.server net 1).name
+  Alcotest.(check string) "server name" "core" (Network.server net 1).name;
+  (* The buffer budget survives the printer (all four deadline/buffer
+     attribute combinations are exercised across the two flows). *)
+  let net' = Scenario.parse (Scenario.to_string net) in
+  Alcotest.(check (option (float 1e-9)))
+    "buffer round-trips" (Some 4.) (Network.flow net' 0).buffer;
+  Alcotest.(check (option (float 1e-9)))
+    "absent buffer round-trips" None (Network.flow net' 1).buffer
 
 let test_parse_errors () =
   let expect_error ?line content =

@@ -108,6 +108,31 @@ let test_rejection_reasons () =
       check_bool "bound exceeds deadline" true (bound > deadline)
   | _ -> Alcotest.fail "expected Deadline_violated naming flow 0"
 
+let test_buffer_violated_reason () =
+  let servers = [ Server.make ~id:0 ~rate:1. () ] in
+  let base =
+    [ Flow.make ~id:0 ~arrival:(tb ~sigma:1. ~rho:0.2 ()) ~route:[ 0 ] () ]
+  in
+  let mk buffer =
+    Flow.make ~id:1 ~arrival:(tb ~sigma:1. ~rho:0.2 ()) ~route:[ 0 ]
+      ~deadline:100. ~buffer ()
+  in
+  let decide cand =
+    Admission.decide_one ~servers ~flows:base ~candidate:cand
+      ~method_:Engine.Decomposed ()
+  in
+  (match decide (mk 5.) with
+  | Admission.Accepted _ -> ()
+  | Admission.Rejected _ -> Alcotest.fail "generous budget must be accepted");
+  match decide (mk 0.5) with
+  | Admission.Rejected
+      (Admission.Buffer_violated { flow; server; backlog; buffer }) ->
+      Alcotest.(check int) "violating flow" 1 flow;
+      Alcotest.(check int) "violating server" 0 server;
+      Alcotest.(check (float 1e-9)) "budget" 0.5 buffer;
+      check_bool "backlog exceeds budget" true (backlog > buffer)
+  | _ -> Alcotest.fail "expected Buffer_violated naming flow 1"
+
 (* ------------------------------------------------------------------ *)
 (* Delta engine: determinism under churn, rollback, reuse              *)
 (* ------------------------------------------------------------------ *)
@@ -116,7 +141,35 @@ let check_matches_scratch msg e =
   let net = Delta_engine.network e in
   same_bounds msg
     (scratch_bounds ~servers:(Network.servers net) ~flows:(Network.flows net))
-    (Delta_engine.all_flow_delays e)
+    (Delta_engine.all_flow_delays e);
+  (* Backlog accessors must agree bit-for-bit too: per-server aggregate
+     bounds, the per-flow split at every server, and the flow-level
+     buffer needs. *)
+  let a =
+    Incremental.with_enabled false (fun () ->
+        Decomposed.analyze
+          (Network.make ~servers:(Network.servers net)
+             ~flows:(Network.flows net)))
+  in
+  List.iter
+    (fun (s : Server.t) ->
+      Alcotest.(check int64)
+        (Printf.sprintf "%s: server %d backlog bits" msg s.id)
+        (bits (Decomposed.server_backlog a s.id))
+        (bits (Delta_engine.server_backlog e s.id));
+      same_bounds
+        (Printf.sprintf "%s: server %d per-flow backlogs" msg s.id)
+        (Decomposed.server_flow_backlogs a s.id)
+        (Delta_engine.server_flow_backlogs e s.id))
+    (Network.servers net);
+  same_bounds
+    (Printf.sprintf "%s: flow buffer needs" msg)
+    (List.map
+       (fun (f : Flow.t) -> (f.id, Decomposed.flow_backlog a f.id))
+       (Network.flows net))
+    (List.map
+       (fun (f : Flow.t) -> (f.id, Delta_engine.flow_backlog e f.id))
+       (Network.flows net))
 
 let test_churn_determinism () =
   let servers, base = tandem_parts 8 in
@@ -210,13 +263,14 @@ let test_sjson_roundtrip () =
         ("a", Sjson.Num 1.);
         ("b", Sjson.List [ Sjson.Bool true; Sjson.Null; Sjson.Str "x\"\n" ]);
         ("c", Sjson.Num 0.1);
-        ("inf", Sjson.float_or_null infinity);
+        ("inf", Sjson.float_repr infinity);
+        ("ninf", Sjson.float_repr neg_infinity);
       ]
   in
   let s = Sjson.render doc in
   Alcotest.(check string)
     "deterministic rendering"
-    {|{"a":1,"b":[true,null,"x\"\n"],"c":0.1,"inf":null}|} s;
+    {|{"a":1,"b":[true,null,"x\"\n"],"c":0.1,"inf":"inf","ninf":"-inf"}|} s;
   Alcotest.(check string) "render/parse fixpoint" s (Sjson.render (Sjson.parse s))
 
 let test_sjson_float_bits () =
@@ -254,16 +308,16 @@ let golden_server () =
 let golden_transcript =
   [
     ( {|{"op":"admit","flow":{"id":1,"sigma":1,"rho":0.1,"route":[0],"deadline":5}}|},
-      {|{"ok":true,"op":"admit","flow":1,"bound":1,"cone_nodes":1,"reused_nodes":0}|}
+      {|{"ok":true,"op":"admit","flow":1,"bound":1,"backlog":1,"cone_nodes":1,"reused_nodes":0}|}
     );
     ( {|{"op":"admit","flow":{"id":2,"sigma":1,"rho":0.1,"route":[0],"deadline":5}}|},
-      {|{"ok":true,"op":"admit","flow":2,"bound":2,"cone_nodes":1,"reused_nodes":0}|}
+      {|{"ok":true,"op":"admit","flow":2,"bound":2,"backlog":1.1111111111111112,"cone_nodes":1,"reused_nodes":0}|}
     );
     ( {|{"op":"admit","flow":{"id":3,"sigma":1,"rho":0.1,"route":[0],"deadline":2.5}}|},
       {|{"ok":false,"op":"admit","flow":3,"error":"rejected","reason":"deadline_violated","violating_flow":3,"violating_bound":3,"violating_deadline":2.5,"cone_nodes":1,"reused_nodes":0}|}
     );
     ( {|{"op":"query","flow":1}|},
-      {|{"ok":true,"op":"query","flow":1,"bound":2,"deadline":5,"route":[0]}|} );
+      {|{"ok":true,"op":"query","flow":1,"bound":2,"backlog":1.1111111111111112,"deadline":5,"buffer":null,"route":[0]}|} );
     ( {|{"op":"admit","flow":{"id":1,"sigma":1,"rho":0.1,"route":[0],"deadline":5}}|},
       {|{"ok":false,"op":"admit","flow":1,"error":"duplicate_flow"}|} );
     ( {|{"op":"admit","flow":{"id":9,"sigma":1,"rho":0.1,"route":[0]}}|},
@@ -272,7 +326,7 @@ let golden_transcript =
     ( {|{"op":"teardown","flow":2}|},
       {|{"ok":true,"op":"teardown","flow":2,"cone_nodes":1,"reused_nodes":0}|} );
     ( {|{"op":"query","flow":1}|},
-      {|{"ok":true,"op":"query","flow":1,"bound":1,"deadline":5,"route":[0]}|} );
+      {|{"ok":true,"op":"query","flow":1,"bound":1,"backlog":1,"deadline":5,"buffer":null,"route":[0]}|} );
     ( {|{"op":"teardown","flow":2}|},
       {|{"ok":false,"op":"teardown","flow":2,"error":"unknown_flow"}|} );
     ( {|{"op":"query","flow":77}|},
@@ -295,6 +349,18 @@ let golden_transcript =
     );
     ( {|{"op":"stats"}|},
       {|{"ok":true,"op":"stats","engine":"delta","servers":1,"flows":1,"admitted_rate":0.1,"admits":2,"rejects":2,"teardowns":1,"cone_nodes":4,"reused_nodes":1}|}
+    );
+    (* Buffer-constrained admission: flow 10's budget covers its backlog
+       bound; flow 11's does not, and the rejection names the flow, the
+       hop, and both sides of the comparison. *)
+    ( {|{"op":"admit","flow":{"id":10,"sigma":1,"rho":0.1,"route":[0],"deadline":50,"buffer":2}}|},
+      {|{"ok":true,"op":"admit","flow":10,"bound":2,"backlog":1.1111111111111112,"cone_nodes":1,"reused_nodes":0}|}
+    );
+    ( {|{"op":"admit","flow":{"id":11,"sigma":1,"rho":0.1,"route":[0],"deadline":50,"buffer":0.5}}|},
+      {|{"ok":false,"op":"admit","flow":11,"error":"rejected","reason":"buffer_violated","violating_flow":11,"violating_server":0,"violating_backlog":1.2499999999999998,"violating_buffer":0.5,"cone_nodes":1,"reused_nodes":0}|}
+    );
+    ( {|{"op":"query","flow":10}|},
+      {|{"ok":true,"op":"query","flow":10,"bound":2,"backlog":1.1111111111111112,"deadline":50,"buffer":2,"route":[0]}|}
     );
   ]
 
@@ -323,6 +389,31 @@ let test_session_loop () =
     "session = handle_line per non-blank line"
     (List.map snd golden_transcript)
     (List.rev !responses)
+
+let test_unstable_sentinels () =
+  (* A serve session over a poisoned server: an unstable base flow has
+     infinite bounds, which the protocol reports as explicit "inf"
+     sentinels rather than null, and any candidate behind it is
+     rejected with an infinite violating bound.  The third request
+     also round-trips a sentinel on input ("deadline":"inf"). *)
+  let t =
+    Serve.create ~mode:Serve.Delta
+      ~servers:[ Server.make ~id:0 ~rate:1. () ]
+      ~flows:
+        [ Flow.make ~id:0 ~arrival:(tb ~sigma:1. ~rho:2. ()) ~route:[ 0 ] () ]
+      ()
+  in
+  let check req expected =
+    Alcotest.(check string) req expected (Serve.handle_line t req)
+  in
+  check {|{"op":"query","flow":0}|}
+    {|{"ok":true,"op":"query","flow":0,"bound":"inf","backlog":"inf","deadline":null,"buffer":null,"route":[0]}|};
+  check
+    {|{"op":"admit","flow":{"id":1,"sigma":1,"rho":0.1,"route":[0],"deadline":5}}|}
+    {|{"ok":false,"op":"admit","flow":1,"error":"rejected","reason":"deadline_violated","violating_flow":1,"violating_bound":"inf","violating_deadline":5,"cone_nodes":1,"reused_nodes":0}|};
+  check
+    {|{"op":"admit","flow":{"id":2,"sigma":1,"rho":2,"route":[0],"deadline":"inf"}}|}
+    {|{"ok":false,"op":"admit","flow":2,"error":"rejected","reason":"deadline_violated","violating_flow":2,"violating_bound":"inf","violating_deadline":"inf","cone_nodes":1,"reused_nodes":0}|}
 
 (* ------------------------------------------------------------------ *)
 (* Full engine parity                                                  *)
@@ -368,6 +459,7 @@ let suite =
     [
       test "admission: run is a fold of decide_one" test_run_is_fold_of_decide_one;
       test "admission: rejection reasons" test_rejection_reasons;
+      test "admission: buffer budget rejection" test_buffer_violated_reason;
       test "delta: churn matches from-scratch bits" test_churn_determinism;
       test "delta: rejected admit rolls back bit-exactly" test_rollback_bit_exact;
       test "delta: decisions match decide_one" test_delta_matches_decide_one;
@@ -377,5 +469,6 @@ let suite =
       test "sjson: parse errors" test_sjson_errors;
       test "protocol: golden transcript" test_golden_transcript;
       test "protocol: session loop" test_session_loop;
+      test "protocol: non-finite sentinels" test_unstable_sentinels;
       test "protocol: delta/full engine parity" test_full_engine_agrees;
     ] )
