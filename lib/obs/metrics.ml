@@ -8,8 +8,11 @@ type dist = {
   mutable vmax : float;
 }
 
+type peak = { pname : string; mutable pmax : int }
+
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let dists : (string, dist) Hashtbl.t = Hashtbl.create 32
+let peaks : (string, peak) Hashtbl.t = Hashtbl.create 16
 
 (* One lock for the whole registry and every update.  Recording from
    netcalc.par worker domains would otherwise lose increments (and
@@ -58,6 +61,21 @@ let observe d v =
       if v < d.vmin then d.vmin <- v;
       if v > d.vmax then d.vmax <- v)
 
+let peak name =
+  Obs_sync.with_lock m (fun () ->
+      match Hashtbl.find_opt peaks name with
+      | Some p -> p
+      | None ->
+          let p = { pname = name; pmax = 0 } in
+          Hashtbl.replace peaks name p;
+          p)
+
+let observe_peak p v =
+  Obs_sync.with_lock m (fun () -> if v > p.pmax then p.pmax <- v)
+
+let peak_value p = Obs_sync.with_lock m (fun () -> p.pmax)
+let peak_name p = p.pname
+
 type dist_stats = {
   count : int;
   sum : float;
@@ -88,11 +106,13 @@ let reset () =
           d.sum <- 0.;
           d.vmin <- infinity;
           d.vmax <- neg_infinity)
-        dists)
+        dists;
+      Hashtbl.iter (fun _ (p : peak) -> p.pmax <- 0) peaks)
 
 type snapshot = {
   counters : (string * int) list;
   dists : (string * dist_stats) list;
+  peaks : (string * int) list;
 }
 
 let sorted_bindings tbl f =
@@ -104,6 +124,7 @@ let snapshot () =
       {
         counters = sorted_bindings counters (fun c -> c.n);
         dists = sorted_bindings dists dist_stats_unlocked;
+        peaks = sorted_bindings peaks (fun p -> p.pmax);
       })
 
 let to_table ?(all = false) () =
@@ -127,6 +148,11 @@ let to_table ?(all = false) () =
             Table.float_cell st.dmax;
           ])
     s.dists;
+  List.iter
+    (fun (name, v) ->
+      if all || v > 0 then
+        Table.add_row tbl [ name; "peak"; ""; ""; ""; ""; string_of_int v ])
+    s.peaks;
   tbl
 
 let render () = Table.to_string (to_table ())

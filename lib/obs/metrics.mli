@@ -13,6 +13,7 @@
 
 type counter
 type dist
+type peak
 
 val counter : string -> counter
 (** Find-or-create the counter with this name.  The same name always
@@ -42,6 +43,17 @@ type dist_stats = {
 val dist_stats : dist -> dist_stats
 val dist_name : dist -> string
 
+val peak : string -> peak
+(** Find-or-create the high-watermark gauge with this name.  A peak
+    keeps the largest value ever observed since the last {!reset}
+    ([pwl.segments.max] — the peak live-curve size — is one). *)
+
+val observe_peak : peak -> int -> unit
+(** Raise the recorded maximum to [v] if larger; no-op otherwise. *)
+
+val peak_value : peak -> int
+val peak_name : peak -> string
+
 val reset : unit -> unit
 (** Zero every counter and empty every distribution.  Registered names
     survive (the counter/dist values held by instrumented modules stay
@@ -50,15 +62,16 @@ val reset : unit -> unit
 type snapshot = {
   counters : (string * int) list;      (** sorted by name *)
   dists : (string * dist_stats) list;  (** sorted by name *)
+  peaks : (string * int) list;         (** sorted by name *)
 }
 
 val snapshot : unit -> snapshot
 
 val to_table : ?all:bool -> unit -> Table.t
 (** One row per metric, sorted by name: columns [metric], [kind],
-    [count], [sum], [mean], [min], [max].  Counters fill [count] only.
-    By default rows with zero count are omitted; pass [~all:true] to
-    keep them. *)
+    [count], [sum], [mean], [min], [max].  Counters fill [count] only;
+    peaks fill [max] only.  By default rows with zero count (zero
+    value, for peaks) are omitted; pass [~all:true] to keep them. *)
 
 val render : unit -> string
 (** [Table.to_string (to_table ())]. *)

@@ -40,9 +40,19 @@ let normalize segs =
    total construction volume of an analysis and the breakpoint
    distribution measures how large intermediate functions get
    ([pwl.breakpoints]'s max is the peak complexity).  Recording is
-   branch-guarded by Obs: disabled runs pay one load and branch. *)
+   branch-guarded by Obs: disabled runs pay one load and branch.
+
+   [pwl.segments.total] (cumulative segments constructed — the
+   segments-processed denominator of the curve-backend A/B bench) and
+   [pwl.segments.max] (largest single curve ever built) make
+   horizon-dependent representation blowup directly visible in
+   [netcalc profile] and bench [--obs]: under the pwl backend the peak
+   grows with the unrolled horizon, under the upp backend it stays at
+   the transient-plus-period structure size. *)
 let c_make = Metrics.counter "pwl.make.calls"
 let d_breakpoints = Metrics.dist "pwl.breakpoints"
+let c_segs_total = Metrics.counter "pwl.segments.total"
+let p_segs_max = Metrics.peak "pwl.segments.max"
 
 (* ------------------------------------------------------------------ *)
 (* Intern (hash-consing) table                                         *)
@@ -203,8 +213,11 @@ let make triples =
   in
   check_increasing segs;
   let segs = normalize segs in
-  if Prof.enabled () then
+  if Prof.enabled () then begin
     Metrics.observe d_breakpoints (float_of_int (Array.length segs));
+    Metrics.add c_segs_total (Array.length segs);
+    Metrics.observe_peak p_segs_max (Array.length segs)
+  end;
   intern segs
 
 let zero = make [ (0., 0., 0.) ]

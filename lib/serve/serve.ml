@@ -262,6 +262,10 @@ let do_stats t =
       ok true;
       str "op" "stats";
       str "engine" engine_name;
+      (* Which curve representation served the session's kernel calls
+         (process-global; delta re-analysis and memo keys are
+         namespaced by it — see Curve_repr). *)
+      str "curve_backend" (Options.curve_backend_name ());
       int "servers" servers;
       int "flows" flows;
       ("admitted_rate", Sjson.Num rate);

@@ -348,7 +348,7 @@ let golden_transcript =
       {|{"ok":false,"error":"bad_request","detail":"missing or invalid \"op\" field"}|}
     );
     ( {|{"op":"stats"}|},
-      {|{"ok":true,"op":"stats","engine":"delta","servers":1,"flows":1,"admitted_rate":0.1,"admits":2,"rejects":2,"teardowns":1,"cone_nodes":4,"reused_nodes":1}|}
+      {|{"ok":true,"op":"stats","engine":"delta","curve_backend":"pwl","servers":1,"flows":1,"admitted_rate":0.1,"admits":2,"rejects":2,"teardowns":1,"cone_nodes":4,"reused_nodes":1}|}
     );
     (* Buffer-constrained admission: flow 10's budget covers its backlog
        bound; flow 11's does not, and the rejection names the flow, the

@@ -2,7 +2,7 @@
    numeric-discipline conventions.
 
    Parses every [.ml] file under the given paths with ppxlib's parser
-   and enforces five rule families (DESIGN.md §12):
+   and enforces six rule families (DESIGN.md §12):
 
      race-global     top-level mutable state (ref cells, hash tables,
                      buffers, arrays, records with mutable fields) in
@@ -23,6 +23,11 @@
                      builds a list or prints, with no enclosing sort:
                      iteration order is unspecified, so the output is
                      nondeterministic
+     curve-repr      engine code (lib/core, lib/sched, lib/serve)
+                     calling the min-plus kernels directly
+                     ([Minplus.conv] &c.) or rebuilding curves from
+                     samplers ([Pwl.of_sampler]): both bypass the
+                     [--curve-backend] dispatch seam ([Curve_repr])
 
    plus two infrastructure rules: [parse-error] (a file does not parse)
    and [bad-waiver] (a [lint.domain_safe] attribute whose payload is
@@ -72,12 +77,12 @@ let report ~file ~loc ~rule ~msg ~hint =
 
 type role = Lib | Bin | Bench | Other
 
+let path_segs path =
+  String.split_on_char '/' path
+  |> List.concat_map (String.split_on_char '\\')
+  |> List.filter (fun s -> s <> "" && s <> ".")
+
 let role_of_path path =
-  let segs =
-    String.split_on_char '/' path
-    |> List.concat_map (String.split_on_char '\\')
-    |> List.filter (fun s -> s <> "" && s <> ".")
-  in
   let rec find = function
     | [] -> Other
     | "lib" :: _ -> Lib
@@ -85,7 +90,22 @@ let role_of_path path =
     | "bench" :: _ -> Bench
     | _ :: rest -> find rest
   in
-  find segs
+  find (path_segs path)
+
+(* Directories whose code constitutes the analysis engines: they must
+   reach the min-plus kernels through the [Curve_repr] dispatch seam,
+   so the [--curve-backend] switch covers every analysis path.
+   lib/pwl (the backends themselves), lib/curves (curve constructors,
+   including the sampler-based FIFO-theta clipping) and lib/sim (the
+   fluid simulator computes explicit trajectories, not bounds) stay on
+   the kernels. *)
+let engine_path path =
+  let rec find = function
+    | "lib" :: d :: _ -> List.mem d [ "core"; "sched"; "serve" ]
+    | _ :: rest -> find rest
+    | [] -> false
+  in
+  find (path_segs path)
 
 (* The one module allowed to spell out raw float comparison. *)
 let is_float_ops_file path = Filename.basename path = "float_ops.ml"
@@ -296,6 +316,7 @@ let waiver_reason attr =
 
 let analyze_structure ~file ~role str =
   let float_ops = is_float_ops_file file in
+  let engine = engine_path file in
   (* Names of mutable record labels declared in this file: a top-level
      [let st = { pos = 0; ... }] with such a label is module-scope
      mutable state. *)
@@ -445,6 +466,26 @@ let analyze_structure ~file ~role str =
               ~hint:
                 "wrap the access in Obs_sync.with_lock, or waive the \
                  binding with [@@lint.domain_safe \"reason\"]"
+        | _ -> ());
+        (match txt with
+        | Ldot (Lident "Minplus", f) when engine && List.mem f minplus_ctors ->
+            report ~file ~loc:e.pexp_loc ~rule:"curve-repr"
+              ~msg:
+                (Printf.sprintf
+                   "direct Minplus.%s in engine code bypasses the \
+                    curve-backend switch"
+                   f)
+              ~hint:
+                "go through Curve_repr.conv / conv_list / conv_with_rate / \
+                 deconv"
+        | Ldot (Lident "Pwl", "of_sampler") when engine ->
+            report ~file ~loc:e.pexp_loc ~rule:"curve-repr"
+              ~msg:
+                "Pwl.of_sampler in engine code builds a \
+                 representation-specific curve behind the Curve_repr seam"
+              ~hint:
+                "move the sampler-based construction into lib/pwl or \
+                 lib/curves and expose it through the repr interface"
         | _ -> ());
         match forbidden_prim role txt with
         | Some (sym, hint) ->
