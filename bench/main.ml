@@ -18,7 +18,7 @@
    Experiment ids: fig4 fig5 fig6 burstiness validation admission
                    burst-propagation ablation-pairing ablation-theta sp
                    tightness feedback edf-allocation randomnet timing
-                   serve-churn curves
+                   serve-churn curves scale
 
    Independent sweep cells (the (U, n) grids, the per-seed randomnet
    batch, ...) are computed on the netcalc.par pool; all printing stays
@@ -1121,6 +1121,111 @@ let curves () =
      speedup column grows with the horizon."
 
 (* ------------------------------------------------------------------ *)
+(* Scale: streaming frontier propagation on the scenario corpus        *)
+(* ------------------------------------------------------------------ *)
+
+(* One row per corpus family: generate at the family's target size,
+   run the streaming engine (Propagation_stream), report throughput
+   and frontier accounting, then cross-validate a small sampled
+   sub-network of the same topology against the packet simulator.
+   Everything is seeded, so the rows (and the --json values, seed
+   included) are reproducible. *)
+let scale () =
+  section "Scale — streaming frontier propagation on the scenario corpus";
+  let seed = 42 in
+  let specs =
+    [
+      (Corpus.Leaf_spine, 100_000);
+      (Corpus.Fat_tree, 10_000);
+      (Corpus.Edge_cloud, 10_000);
+      (Corpus.Heavytail, 20_000);
+    ]
+  in
+  let tbl =
+    Table.create
+      ~header:
+        [
+          "family"; "servers"; "flows"; "levels"; "widest"; "peak live";
+          "pairs"; "servers/s"; "sim ok";
+        ]
+  in
+  List.iter
+    (fun (family, target) ->
+      let name = Corpus.to_string family in
+      let net = Corpus.generate ~family ~target_servers:target ~seed in
+      let servers = Network.size net in
+      let flows = List.length (Network.flows net) in
+      let t0 = Trace.now_s () in
+      let s = Propagation_stream.analyze ~options:!bench_options net in
+      let wall = Trace.now_s () -. t0 in
+      let st = Propagation_stream.frontier_stats s in
+      let sps = float_of_int servers /. wall in
+      (* Cross-validation: an unpeaked regeneration (same seed, same
+         routes — the conforming packet emitter needs peak-free
+         sources), restricted to a deterministic sample of flows, so
+         the simulated sub-network and its analysis see the same
+         contention. *)
+      let unpeaked =
+        Corpus.generate_unpeaked ~family ~target_servers:target ~seed
+      in
+      let all_ids =
+        List.map (fun (f : Flow.t) -> f.Flow.id) (Network.flows unpeaked)
+        |> List.sort compare
+      in
+      let n_ids = List.length all_ids in
+      let stride = max 1 (n_ids / 6) in
+      let flow_ids =
+        List.filteri (fun i _ -> i mod stride = 0 && i / stride < 6) all_ids
+      in
+      let sub = Network.restrict unpeaked ~flow_ids in
+      let bounds =
+        Decomposed.all_flow_delays
+          (Decomposed.analyze ~options:!bench_options sub)
+      in
+      let config =
+        { Sim.default_config with packet_size = 0.05; horizon = 200. }
+      in
+      let reports = Validate.check ~config ~bounds sub in
+      let sim_ok =
+        reports <> []
+        && List.for_all (fun (r : Validate.report) -> r.slack >= -1e-6) reports
+      in
+      let key part = Printf.sprintf "scale.%s.%s" name part in
+      record_value (key "seed") (float_of_int seed);
+      record_value (key "servers") (float_of_int servers);
+      record_value (key "flows") (float_of_int flows);
+      record_value (key "wall_s") wall;
+      record_value (key "servers_per_sec") sps;
+      record_value (key "levels") (float_of_int st.levels);
+      record_value (key "widest_antichain") (float_of_int st.widest_antichain);
+      record_value (key "peak_live_frontier") (float_of_int st.peak_live);
+      record_value (key "evicted") (float_of_int st.evicted);
+      record_value (key "total_pairs") (float_of_int st.total_pairs);
+      record_value (key "sim.sub_servers") (float_of_int (Network.size sub));
+      record_value (key "sim.sub_flows") (float_of_int (List.length flow_ids));
+      record_value (key "sim.ok") (if sim_ok then 1. else 0.);
+      Table.add_row tbl
+        [
+          name;
+          string_of_int servers;
+          string_of_int flows;
+          string_of_int st.levels;
+          string_of_int st.widest_antichain;
+          string_of_int st.peak_live;
+          string_of_int st.total_pairs;
+          Printf.sprintf "%.0f" sps;
+          (if sim_ok then "yes" else "NO");
+        ])
+    specs;
+  output ~name:"scale" tbl;
+  print_endline
+    "\nExpected shape: every family completes a full streaming analysis in \
+     one\nprocess — 10^5 servers for the leaf-spine — with the peak live \
+     frontier a\nfraction of the total (flow, server) pairs (the table-based \
+     footprint), and\nevery sampled sub-network's simulated delays dominated \
+     by the analytic\nbounds (sim ok = yes)."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1144,6 +1249,7 @@ let experiments =
     ("timing", timing);
     ("serve-churn", serve_churn);
     ("curves", curves);
+    ("scale", scale);
   ]
 
 (* Perf-trajectory record for --json: one entry per experiment, with
@@ -1157,9 +1263,41 @@ type perf_record = {
   wall_s : float;
   peak_segments : int;
   segments_per_sec : float;
+  peak_rss_kb : int option;
+      (* VmHWM at the end of the experiment: the process's lifetime
+         high watermark, so monotone across experiments — the first
+         experiment that spikes it owns the jump.  None on platforms
+         without /proc. *)
+  major_words : float;
+  top_heap_words : int;
   counters : (string * int) list;
   values : (string * float) list;
 }
+
+(* Peak resident set (VmHWM, kB) from /proc/self/status; None where
+   the file or the field does not exist (non-Linux). *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let prefix = "VmHWM:" in
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line ->
+                if
+                  String.length line >= String.length prefix
+                  && String.sub line 0 (String.length prefix) = prefix
+                then
+                  String.to_seq line
+                  |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                  |> String.of_seq |> int_of_string_opt
+                else scan ()
+          in
+          scan ())
 
 let json_out : string option ref = ref None
 let perf_records : perf_record list ref = ref []
@@ -1191,12 +1329,16 @@ let run_experiment ~obs (id, f) =
       | Some n when wall_s > 0. -> float_of_int n /. wall_s
       | _ -> 0.
     in
+    let gc = Gc.quick_stat () in
     perf_records :=
       {
         id;
         wall_s;
         peak_segments;
         segments_per_sec;
+        peak_rss_kb = peak_rss_kb ();
+        major_words = gc.Gc.major_words;
+        top_heap_words = gc.Gc.top_heap_words;
         counters;
         values = List.rev !perf_values;
       }
@@ -1225,15 +1367,16 @@ let json_escape s =
     s;
   Buffer.contents b
 
-(* Schema netcalc-bench/2: "backend" is the curve-representation
-   backend (the A/B axis of the curves experiment); the parallel
-   runtime moved to "par_backend".  Per experiment, "peak_segments"
-   and "segments_per_sec" summarize the curve workload. *)
+(* Schema netcalc-bench/3: /2 plus per-experiment memory accounting —
+   "peak_rss_kb" (VmHWM from /proc/self/status; the key is absent on
+   platforms without it, and monotone across experiments since it is a
+   process-lifetime high watermark) and "gc" with the runtime's
+   cumulative "major_words" and "top_heap_words". *)
 let write_perf_json path ~total_wall_s =
   let b = Buffer.create 4096 in
   Buffer.add_string b
     (Printf.sprintf
-       "{\"schema\":\"netcalc-bench/2\",\"backend\":\"%s\",\
+       "{\"schema\":\"netcalc-bench/3\",\"backend\":\"%s\",\
         \"par_backend\":\"%s\",\"jobs\":%d,\
         \"total_wall_s\":%.6f,\"experiments\":["
        (json_escape (Options.curve_backend_name ()))
@@ -1244,10 +1387,17 @@ let write_perf_json path ~total_wall_s =
       Buffer.add_string b
         (Printf.sprintf
            "{\"id\":\"%s\",\"wall_s\":%.6f,\"peak_segments\":%d,\
-            \"segments_per_sec\":%.6g,\"counters\":{"
+            \"segments_per_sec\":%.6g,"
            (json_escape r.id) r.wall_s r.peak_segments
            (if Float.is_finite r.segments_per_sec then r.segments_per_sec
             else 0.));
+      (match r.peak_rss_kb with
+      | Some kb -> Buffer.add_string b (Printf.sprintf "\"peak_rss_kb\":%d," kb)
+      | None -> ());
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"gc\":{\"major_words\":%.6g,\"top_heap_words\":%d},\"counters\":{"
+           r.major_words r.top_heap_words);
       List.iteri
         (fun j (name, n) ->
           if j > 0 then Buffer.add_char b ',';

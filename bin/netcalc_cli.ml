@@ -9,7 +9,8 @@
      analyze   analyze a scenario file (with optional full report)
      ring      fixed-point analysis of a cyclic ring
      sp        static-priority tandem (the Sec. 5 extension)
-     dot       emit the routing graph of a tandem in Graphviz format
+     dot       emit a routing graph (tandem or corpus family) as Graphviz
+     scale     streaming frontier analysis of a corpus-family topology
      admit     batch admission control over a scenario file
      serve     online admission-control service (NDJSON line protocol) *)
 
@@ -355,13 +356,118 @@ let fluid_cmd =
   ("fluid", "Exact fluid tightness probe for the tandem (no packetization)",
    Term.(const run $ hops_arg $ util_arg $ tries_arg))
 
+(* Scenario-corpus selectors, shared by `dot` and `scale`. *)
+let family_choices = List.map (fun f -> (Corpus.to_string f, f)) Corpus.all
+
+let family_arg =
+  Arg.(value & opt (some (enum family_choices)) None
+       & info [ "family" ] ~docv:"FAMILY"
+           ~doc:"Generate a scenario-corpus topology instead of the tandem: \
+                 $(b,leaf-spine), $(b,fat-tree), $(b,edge-cloud) or \
+                 $(b,heavytail).")
+
+let servers_arg =
+  Arg.(value & opt int 1000 & info [ "servers" ] ~docv:"N"
+         ~doc:"Target server count for the corpus generator.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Generator seed (the corpus is deterministic in \
+               family/servers/seed).")
+
 let dot_cmd =
-  let run n u () =
-    let t = Tandem.make ~n ~utilization:u () in
-    print_string (Dot.to_dot t.network)
+  let max_servers_arg =
+    Arg.(value & opt int 2000 & info [ "max-servers" ] ~docv:"N"
+           ~doc:"Refuse to dump graphs larger than N servers (Graphviz \
+                 itself stops being useful long before the generator does); \
+                 raise the limit explicitly to override.")
   in
-  ("dot", "Emit the tandem's routing graph as Graphviz",
-   Term.(const run $ hops_arg $ util_arg))
+  let run n u family servers seed max_servers () =
+    let net =
+      match family with
+      | None -> (Tandem.make ~n ~utilization:u ()).Tandem.network
+      | Some family -> Corpus.generate ~family ~target_servers:servers ~seed
+    in
+    let size = Network.size net in
+    if size > max_servers then begin
+      Printf.eprintf
+        "netcalc: refusing to dump %d servers as Graphviz (limit %d).\n\
+         Pass --max-servers %d to override.\n"
+        size max_servers size;
+      exit 1
+    end;
+    Dot.output_net stdout net
+  in
+  ("dot", "Emit a routing graph (tandem or corpus family) as Graphviz",
+   Term.(const run $ hops_arg $ util_arg $ family_arg $ servers_arg $ seed_arg
+         $ max_servers_arg))
+
+let scale_cmd =
+  let family_req_arg =
+    Arg.(value & opt (enum family_choices) Corpus.Leaf_spine
+         & info [ "family" ] ~docv:"FAMILY"
+             ~doc:"Corpus family: $(b,leaf-spine), $(b,fat-tree), \
+                   $(b,edge-cloud) or $(b,heavytail).")
+  in
+  let servers_arg =
+    Arg.(value & opt int 10000 & info [ "servers" ] ~docv:"N"
+           ~doc:"Target server count.")
+  in
+  let check_arg =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Also run the table-based engine and verify the streaming \
+                 bounds are bit-identical (costs the table path's memory; \
+                 keep the size moderate).")
+  in
+  let run family servers seed check link_cap () =
+    let options = options_of link_cap in
+    let net = Corpus.generate ~family ~target_servers:servers ~seed in
+    let t0 = Unix.gettimeofday () in
+    let s = Propagation_stream.analyze ~options net in
+    let dt = Unix.gettimeofday () -. t0 in
+    let st = Propagation_stream.frontier_stats s in
+    let delays = Propagation_stream.all_flow_delays s in
+    let finite = List.filter (fun (_, d) -> d < infinity) delays in
+    let worst = List.fold_left (fun acc (_, d) -> Float.max acc d) 0. finite in
+    Printf.printf
+      "Streaming analysis of %s (%d servers, %d flows, seed %d):\n\n"
+      (Corpus.to_string family) (Network.size net)
+      (List.length (Network.flows net)) seed;
+    let tbl = Table.create ~header:[ "metric"; "value" ] in
+    Table.add_row tbl [ "antichain levels"; string_of_int st.levels ];
+    Table.add_row tbl [ "widest antichain"; string_of_int st.widest_antichain ];
+    Table.add_row tbl
+      [ "total (flow,server) pairs"; string_of_int st.total_pairs ];
+    Table.add_row tbl [ "peak live frontier"; string_of_int st.peak_live ];
+    Table.add_row tbl [ "envelopes evicted"; string_of_int st.evicted ];
+    Table.add_row tbl
+      [ "bounded flows"; Printf.sprintf "%d / %d" (List.length finite)
+          (List.length delays) ];
+    Table.add_row tbl [ "worst bounded delay"; Table.float_cell worst ];
+    Table.add_row tbl [ "analysis time (s)"; Printf.sprintf "%.3f" dt ];
+    Table.add_row tbl
+      [ "servers / s";
+        Printf.sprintf "%.0f" (float_of_int (Network.size net) /. dt) ];
+    Table.print tbl;
+    if check then begin
+      let d = Decomposed.analyze ~options net in
+      let table_delays =
+        List.map (fun (id, _) -> (id, Decomposed.flow_delay d id)) delays
+      in
+      if delays = table_delays then
+        print_endline "\ncheck: streaming bounds bit-identical to the \
+                       table-based engine"
+      else begin
+        print_endline "\ncheck: MISMATCH between streaming and table-based \
+                       bounds";
+        exit 1
+      end
+    end
+  in
+  ("scale",
+   "Streaming frontier analysis of a corpus-family topology at scale",
+   Term.(const run $ family_req_arg $ servers_arg $ seed_arg $ check_arg
+         $ link_cap_arg))
 
 let method_choices =
   [
@@ -508,7 +614,7 @@ let serve_cmd =
 let subcommands =
   [
     tandem_cmd; sweep_cmd; simulate_cmd; random_cmd; analyze_cmd; ring_cmd;
-    fluid_cmd; sp_cmd; dot_cmd; admit_cmd; serve_cmd;
+    fluid_cmd; sp_cmd; dot_cmd; scale_cmd; admit_cmd; serve_cmd;
   ]
 
 (* Worker-count option, shared by every subcommand (plain and

@@ -3,10 +3,14 @@ type env_table = (int * int, Pwl.t) Hashtbl.t
 let install_source table (f : Flow.t) =
   Hashtbl.replace table (f.id, Flow.first_hop f) (Flow.source_curve f)
 
+let empty ?(size_hint = 64) () : env_table = Hashtbl.create (max 1 size_hint)
+
 let create net =
-  let table = Hashtbl.create 64 in
+  let table = empty () in
   List.iter (install_source table) (Network.flows net);
   table
+
+let length (table : env_table) = Hashtbl.length table
 
 let get table ~flow ~server = Hashtbl.find table (flow, server)
 let find_opt table ~flow ~server = Hashtbl.find_opt table (flow, server)

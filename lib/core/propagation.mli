@@ -12,6 +12,16 @@ val create : Network.t -> env_table
 (** A fresh table with each flow's source envelope installed at its
     first hop. *)
 
+val empty : ?size_hint:int -> unit -> env_table
+(** A fresh table with {e nothing} installed.  The streaming engine
+    ({!Propagation_stream}) starts here and installs each source curve
+    only when its first hop's antichain level begins, so the resident
+    set never jumps to one-entry-per-flow up front. *)
+
+val length : env_table -> int
+(** Number of resident [(flow, server)] entries — the live frontier
+    size, in the streaming engine's vocabulary. *)
+
 val get : env_table -> flow:int -> server:int -> Pwl.t
 (** Input envelope of a flow at a server.  @raise Not_found when the
     upstream analysis has not reached this hop yet (a bug in the

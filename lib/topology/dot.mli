@@ -1,7 +1,14 @@
 (** Graphviz export of the routing graph, for documentation and
-    debugging. *)
+    debugging.
+
+    Nodes are servers (labeled with name, rate and utilization), edges
+    the consecutive-hop pairs labeled with the number of flows riding
+    them.  Edge counts come from a single pass over the flows, so the
+    export is O(servers + hops) however large the network. *)
+
+val output_net : out_channel -> Network.t -> unit
+(** Stream the digraph to a channel without materializing it — the
+    right entry point for corpus-scale networks. *)
 
 val to_dot : Network.t -> string
-(** A [digraph] whose nodes are servers (labeled with name, rate and
-    utilization) and whose edges are the consecutive-hop pairs, labeled
-    with the number of flows riding them. *)
+(** The digraph as a string (small networks / tests). *)

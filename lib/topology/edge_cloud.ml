@@ -1,0 +1,144 @@
+(* Edge-cloud microservice chains with per-hop RTT and bandwidth.
+
+   Modeled after the mSvcBench netdelay template: a set of edge sites
+   each hosting a microservice chain (tiers x per_tier replicas), a
+   bandwidth-limited uplink per site, and a shared cloud cluster that
+   a fraction of the requests are offloaded to.  A request either
+   completes inside its site
+
+     svc(t0) -> svc(t1) -> ... -> svc(t_last)
+
+   or is offloaded after the local chain
+
+     svc(t0) -> ... -> svc(t_last) -> uplink -> cloud(t0) -> ...
+
+   Queueing delay is what the analysis bounds; propagation is an
+   additive constant per flow, reported separately as [base_latency]:
+   [hop_latency] per traversed link plus the edge-cloud [rtt] when the
+   flow is offloaded (the netdelay split of delay into per-hop wire
+   latency + bandwidth-dependent queueing).  The uplink server's rate
+   is the site's [bandwidth], so offloaded traffic contends for it.
+
+   Ids are assigned site block by site block (tiers in order, then the
+   uplink), with the cloud block last — every route is strictly
+   increasing, so the network is feedforward by construction. *)
+
+type params = {
+  sites : int;
+  tiers : int;
+  per_tier : int;
+  cloud_tiers : int;
+  cloud_per_tier : int;
+  offload_fraction : float;
+  bandwidth : float;
+  rtt : float;
+  hop_latency : float;
+  num_flows : int;
+  utilization : float;
+  max_burst : float;
+  peak : float;
+  seed : int;
+}
+
+let default =
+  {
+    sites = 3;
+    tiers = 4;
+    per_tier = 2;
+    cloud_tiers = 3;
+    cloud_per_tier = 4;
+    offload_fraction = 0.3;
+    bandwidth = 2.;
+    rtt = 20.;
+    hop_latency = 0.5;
+    num_flows = 24;
+    utilization = 0.6;
+    max_burst = 2.;
+    peak = 1.;
+    seed = 42;
+  }
+
+type t = { net : Network.t; base_latency : (int * float) list }
+
+let site_block p = (p.tiers * p.per_tier) + 1
+let size p = (p.sites * site_block p) + (p.cloud_tiers * p.cloud_per_tier)
+
+let generate p =
+  if p.sites < 1 then invalid_arg "Edge_cloud.generate: sites < 1";
+  if p.tiers < 1 || p.per_tier < 1 then
+    invalid_arg "Edge_cloud.generate: empty service chain";
+  if p.cloud_tiers < 1 || p.cloud_per_tier < 1 then
+    invalid_arg "Edge_cloud.generate: empty cloud";
+  if p.offload_fraction < 0. || p.offload_fraction > 1. then
+    invalid_arg "Edge_cloud.generate: offload_fraction outside [0, 1]";
+  if p.bandwidth <= 0. then invalid_arg "Edge_cloud.generate: bandwidth <= 0";
+  if p.num_flows < 1 then invalid_arg "Edge_cloud.generate: num_flows < 1";
+  let rng = Random.State.make [| p.seed |] in
+  let block = site_block p in
+  let svc site tier pos = (site * block) + (tier * p.per_tier) + pos in
+  let uplink site = (site * block) + (p.tiers * p.per_tier) in
+  let cloud tier pos =
+    (p.sites * block) + (tier * p.cloud_per_tier) + pos
+  in
+  let servers =
+    List.concat
+      (List.init p.sites (fun s ->
+           List.concat
+             (List.init p.tiers (fun t ->
+                  List.init p.per_tier (fun i ->
+                      Server.make ~id:(svc s t i)
+                        ~name:(Printf.sprintf "site%d-t%d-%d" s t i)
+                        ~rate:1. ())))
+           @ [
+               Server.make ~id:(uplink s)
+                 ~name:(Printf.sprintf "site%d-uplink" s)
+                 ~rate:p.bandwidth ();
+             ]))
+    @ List.concat
+        (List.init p.cloud_tiers (fun t ->
+             List.init p.cloud_per_tier (fun i ->
+                 Server.make ~id:(cloud t i)
+                   ~name:(Printf.sprintf "cloud-t%d-%d" t i)
+                   ~rate:1. ())))
+  in
+  let raw_with_lat =
+    List.init p.num_flows (fun i ->
+        let s = Random.State.int rng p.sites in
+        let local =
+          List.init p.tiers (fun t -> svc s t (Random.State.int rng p.per_tier))
+        in
+        let offloaded = Random.State.float rng 1.0 < p.offload_fraction in
+        let route =
+          if not offloaded then local
+          else
+            local
+            @ (uplink s
+               :: List.init p.cloud_tiers (fun t ->
+                      cloud t (Random.State.int rng p.cloud_per_tier)))
+        in
+        let sigma = Genutil.draw_sigma rng ~max_burst:p.max_burst in
+        let w = Random.State.float rng 1.0 +. 0.1 in
+        let base =
+          (p.hop_latency *. float_of_int (List.length route - 1))
+          +. if offloaded then p.rtt else 0.
+        in
+        ((i, route, sigma, w), (i, base)))
+  in
+  let raw = List.map fst raw_with_lat in
+  let base_latency = List.map snd raw_with_lat in
+  let rate_of =
+    let up = Hashtbl.create 16 in
+    List.init p.sites (fun s -> uplink s)
+    |> List.iter (fun sid -> Hashtbl.replace up sid ());
+    fun sid -> if Hashtbl.mem up sid then p.bandwidth else 1.
+  in
+  let flows =
+    Genutil.scale_to_utilization ~rate_of ~utilization:p.utilization
+      ~peak:p.peak raw
+  in
+  { net = Network.make ~servers ~flows; base_latency }
+
+let total_latency t ~queueing flow_id =
+  match List.assoc_opt flow_id t.base_latency with
+  | Some base -> base +. queueing
+  | None -> raise Not_found

@@ -1,0 +1,49 @@
+(** Edge-cloud microservice chains with per-hop RTT and bandwidth
+    (seeded, deterministic; after the mSvcBench netdelay template).
+
+    Each edge site hosts a [tiers x per_tier] microservice chain and a
+    bandwidth-limited uplink; a fraction of the flows are offloaded
+    through the uplink into a shared cloud chain.  The analysis bounds
+    queueing delay; wire latency is the additive per-flow constant
+    [base_latency] ([hop_latency] per link, plus the edge-cloud [rtt]
+    for offloaded flows). *)
+
+type params = {
+  sites : int;            (** edge datacenters *)
+  tiers : int;            (** service-chain depth per site *)
+  per_tier : int;         (** replicas per tier *)
+  cloud_tiers : int;      (** shared cloud chain depth *)
+  cloud_per_tier : int;
+  offload_fraction : float;  (** fraction of flows continuing to the
+                                 cloud, in [0, 1] *)
+  bandwidth : float;      (** uplink server rate *)
+  rtt : float;            (** edge-cloud round-trip wire latency *)
+  hop_latency : float;    (** per-link wire latency *)
+  num_flows : int;
+  utilization : float;    (** target max utilization, in (0, 1) *)
+  max_burst : float;
+  peak : float;           (** source peak rate; [infinity] for none *)
+  seed : int;
+}
+
+val default : params
+(** 3 sites x (4 tiers x 2) + uplink, 3x4 cloud (39 servers),
+    24 flows, 30% offload, utilization 0.6, seed 42. *)
+
+type t = { net : Network.t; base_latency : (int * float) list }
+(** The network plus each flow's additive wire latency. *)
+
+val site_block : params -> int
+(** Servers contributed by one edge site: [tiers * per_tier + 1]. *)
+
+val size : params -> int
+(** Number of servers [generate] will produce. *)
+
+val generate : params -> t
+(** All servers FIFO; uplinks run at [bandwidth], everything else at
+    unit rate; source rates scaled to the target utilization
+    ({!Genutil.scale_to_utilization}).  Feedforward by construction. *)
+
+val total_latency : t -> queueing:float -> int -> float
+(** [total_latency t ~queueing id] adds flow [id]'s wire latency to a
+    queueing-delay bound.  @raise Not_found on an unknown flow. *)

@@ -1,0 +1,114 @@
+(* k-ary fat-tree (Al-Fares et al.), directionalized into a DAG.
+
+   A k-ary fat-tree has k pods of k/2 edge and k/2 aggregation
+   switches plus (k/2)^2 core switches.  Physical fat-tree routing is
+   up-down: a packet climbs from its source edge switch towards a
+   common ancestor and descends to its destination edge switch.  To
+   keep the routing graph feedforward we model each switch's upward
+   and downward output ports as distinct servers and assign ids in
+   traversal-order blocks:
+
+     edge_up | agg_up | core | agg_down | edge_down
+
+   for 2k^2 + k^2/4 servers total.  Routes:
+
+     same edge switch   : edge_up -> edge_down                (2 hops)
+     intra-pod          : edge_up -> agg_up -> edge_down      (3 hops)
+     inter-pod          : edge_up -> agg_up -> core
+                           -> agg_down -> edge_down           (5 hops)
+
+   Core wiring follows the standard scheme: aggregation switch a of
+   any pod connects to cores [a*k/2 .. a*k/2 + k/2 - 1], so the core
+   chosen on the way up determines the aggregation switch on the way
+   down.  Every route's ids are strictly increasing across blocks, so
+   the network is feedforward by construction. *)
+
+type params = {
+  k : int; (* even, >= 2 *)
+  num_flows : int;
+  utilization : float;
+  max_burst : float;
+  peak : float;
+  seed : int;
+}
+
+let default =
+  { k = 4; num_flows = 48; utilization = 0.6; max_burst = 2.; peak = 1.; seed = 42 }
+
+let size p = (2 * p.k * p.k) + (p.k * p.k / 4)
+
+let generate p =
+  if p.k < 2 || p.k mod 2 <> 0 then
+    invalid_arg "Fat_tree.generate: k must be even and >= 2";
+  if p.num_flows < 1 then invalid_arg "Fat_tree.generate: num_flows < 1";
+  let rng = Random.State.make [| p.seed |] in
+  let half = p.k / 2 in
+  let pods = p.k in
+  let per_dir = pods * half in
+  (* Id blocks, in traversal order. *)
+  let edge_up pod e = (pod * half) + e in
+  let agg_up pod a = per_dir + (pod * half) + a in
+  let core c = (2 * per_dir) + c in
+  let agg_down pod a = (2 * per_dir) + (half * half) + (pod * half) + a in
+  let edge_down pod e =
+    (3 * per_dir) + (half * half) + (pod * half) + e
+  in
+  let mk id name = Server.make ~id ~name ~rate:1. () in
+  let servers =
+    List.concat
+      [
+        List.concat
+          (List.init pods (fun pd ->
+               List.init half (fun e ->
+                   mk (edge_up pd e) (Printf.sprintf "p%de%d-up" pd e))));
+        List.concat
+          (List.init pods (fun pd ->
+               List.init half (fun a ->
+                   mk (agg_up pd a) (Printf.sprintf "p%da%d-up" pd a))));
+        List.init (half * half) (fun c -> mk (core c) (Printf.sprintf "core%d" c));
+        List.concat
+          (List.init pods (fun pd ->
+               List.init half (fun a ->
+                   mk (agg_down pd a) (Printf.sprintf "p%da%d-down" pd a))));
+        List.concat
+          (List.init pods (fun pd ->
+               List.init half (fun e ->
+                   mk (edge_down pd e) (Printf.sprintf "p%de%d-down" pd e))));
+      ]
+  in
+  let raw =
+    List.init p.num_flows (fun i ->
+        let p1 = Random.State.int rng pods in
+        let e1 = Random.State.int rng half in
+        let p2 = Random.State.int rng pods in
+        let e2 = Random.State.int rng half in
+        let route =
+          if p1 = p2 && e1 = e2 then [ edge_up p1 e1; edge_down p1 e1 ]
+          else if p1 = p2 then
+            let a = Random.State.int rng half in
+            [ edge_up p1 e1; agg_up p1 a; edge_down p2 e2 ]
+          else begin
+            let a = Random.State.int rng half in
+            let j = Random.State.int rng half in
+            let c = (a * half) + j in
+            (* Core c hangs off aggregation index [c / half] in every
+               pod — the downward aggregation switch is forced. *)
+            [
+              edge_up p1 e1;
+              agg_up p1 a;
+              core c;
+              agg_down p2 (c / half);
+              edge_down p2 e2;
+            ]
+          end
+        in
+        let sigma = Genutil.draw_sigma rng ~max_burst:p.max_burst in
+        let w = Random.State.float rng 1.0 +. 0.1 in
+        (i, route, sigma, w))
+  in
+  let flows =
+    Genutil.scale_to_utilization
+      ~rate_of:(fun _ -> 1.)
+      ~utilization:p.utilization ~peak:p.peak raw
+  in
+  Network.make ~servers ~flows

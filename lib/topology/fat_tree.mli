@@ -1,0 +1,29 @@
+(** k-ary fat-tree datacenter topology (seeded, deterministic).
+
+    The classic 3-tier Clos fabric (Al-Fares et al.): k pods of k/2
+    edge and k/2 aggregation switches plus (k/2)^2 cores.  Upward and
+    downward switch ports are modeled as distinct servers so up-down
+    routing becomes a feedforward DAG of [2k^2 + k^2/4] servers with
+    2-hop (same edge), 3-hop (intra-pod) and 5-hop (inter-pod)
+    routes. *)
+
+type params = {
+  k : int;             (** fabric arity; even, >= 2 *)
+  num_flows : int;
+  utilization : float; (** target max utilization, in (0, 1) *)
+  max_burst : float;
+  peak : float;        (** source peak rate; [infinity] for none *)
+  seed : int;
+}
+
+val default : params
+(** k = 4 (36 servers), 48 flows, utilization 0.6, seed 42. *)
+
+val size : params -> int
+(** Number of servers [generate] will produce: [2k^2 + k^2/4]. *)
+
+val generate : params -> Network.t
+(** All servers FIFO at unit rate; core wiring follows the standard
+    scheme (aggregation switch a reaches cores [a*k/2 ..
+    a*k/2 + k/2 - 1]); source rates scaled to the target utilization
+    ({!Genutil.scale_to_utilization}). *)

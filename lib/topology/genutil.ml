@@ -1,0 +1,60 @@
+(* Shared machinery of the scenario-corpus generators (Leaf_spine,
+   Fat_tree, Edge_cloud, Heavytail): seeded draws and the
+   load-to-utilization scaling every family performs.
+
+   All generators are deterministic functions of their params record:
+   every random draw goes through a [Random.State.t] seeded from
+   [params.seed], so the same params produce the same network in any
+   process, at any jobs count, on any platform with the same OCaml
+   [Random] implementation — the property the corpus determinism tests
+   pin. *)
+
+let bounded_pareto rng ~alpha ~lo ~hi =
+  (* Inverse-CDF draw of a Pareto(alpha) starting at [lo], truncated at
+     [hi]: heavy-tailed but never degenerate. *)
+  if alpha <= 0. then invalid_arg "Genutil.bounded_pareto: alpha <= 0";
+  if lo <= 0. || hi < lo then invalid_arg "Genutil.bounded_pareto: bad bounds";
+  let u = Random.State.float rng 1.0 in
+  let u = Float.min u 0.999999 in
+  Float.min hi (lo *. ((1. -. u) ** (-1. /. alpha)))
+
+let draw_sigma rng ~max_burst =
+  0.05 +. Random.State.float rng (Float.max 1e-3 (max_burst -. 0.05))
+
+(* Build the flow population from raw (id, route, sigma, weight) draws:
+   the long-run rate of flow i becomes [weight_i * scale], with [scale]
+   chosen so the most loaded server (relative to its own rate) sits
+   exactly at the target utilization.  Same scheme as Randomnet, shared
+   so every corpus family is stable by construction. *)
+let scale_to_utilization ~rate_of ~utilization ~peak raw =
+  if utilization <= 0. || utilization >= 1. then
+    invalid_arg "Genutil.scale_to_utilization: utilization must be in (0, 1)";
+  let load = Hashtbl.create 1024 in
+  List.iter
+    (fun (_, route, _, w) ->
+      List.iter
+        (fun sid ->
+          Hashtbl.replace load sid
+            (w +. try Hashtbl.find load sid with Not_found -> 0.))
+        route)
+    raw;
+  (* Sorted fold: float max is order-insensitive, but keep the
+     iteration order pinned anyway (cheap, and lint-clean by
+     construction). *)
+  let max_load =
+    Hashtbl.fold (fun sid v acc -> (sid, v) :: acc) load []
+    |> List.sort compare
+    |> List.fold_left
+         (fun acc (sid, v) -> Float.max (v /. rate_of sid) acc)
+         0.
+  in
+  if max_load <= 0. then
+    invalid_arg "Genutil.scale_to_utilization: no load on any server";
+  let scale = utilization /. max_load in
+  List.map
+    (fun (id, route, sigma, w) ->
+      let rho = w *. scale in
+      let peak = Float.max peak rho in
+      Flow.make ~id ~arrival:(Arrival.token_bucket ~peak ~sigma ~rho ()) ~route
+        ())
+    raw

@@ -1,0 +1,34 @@
+(** Shared machinery of the scenario-corpus generators.
+
+    Every corpus family ({!Leaf_spine}, {!Fat_tree}, {!Edge_cloud},
+    {!Heavytail}) draws raw routes and source parameters from a seeded
+    [Random.State.t] and then rescales the source rates so the most
+    loaded server sits exactly at the requested utilization — the same
+    stability-by-construction scheme as {!Randomnet}.  This module
+    holds the pieces they share. *)
+
+val bounded_pareto :
+  Random.State.t -> alpha:float -> lo:float -> hi:float -> float
+(** Inverse-CDF draw of a Pareto([alpha]) variable starting at [lo],
+    truncated at [hi] — heavy-tailed route lengths and service-chain
+    depths without degenerate outliers.
+    @raise Invalid_argument on [alpha <= 0] or a bad range. *)
+
+val draw_sigma : Random.State.t -> max_burst:float -> float
+(** Source burst drawn uniformly from [0.05, max_burst] (the
+    {!Randomnet} convention). *)
+
+val scale_to_utilization :
+  rate_of:(int -> float) ->
+  utilization:float ->
+  peak:float ->
+  (int * int list * float * float) list ->
+  Flow.t list
+(** [scale_to_utilization ~rate_of ~utilization ~peak raw] turns raw
+    [(id, route, sigma, weight)] draws into flows whose long-run rates
+    are the weights scaled by a common factor chosen so the most loaded
+    server (relative to [rate_of] its id) sits exactly at
+    [utilization].  [peak] caps each source's peak rate from below by
+    its own [rho] ([infinity] for unpeaked sources).
+    @raise Invalid_argument when [utilization] is outside (0, 1) or no
+    route touches any server. *)

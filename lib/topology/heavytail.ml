@@ -1,0 +1,109 @@
+(* Heavy-tailed random feedforward DAGs.
+
+   Unlike Randomnet's layered construction, this family has no layer
+   structure at all: servers are popularity-ranked, flow routes visit
+   Zipf-sampled servers in ascending id order (which makes any sample
+   a feedforward route for free), and route lengths follow a bounded
+   Pareto.  The result is the hub-and-tail shape of real WANs and
+   service meshes — a few servers carry a large share of the flows,
+   most carry almost none — which stresses the streaming engine in the
+   opposite way from the regular fabrics: many short antichain levels
+   of wildly uneven width and a frontier dominated by the hubs. *)
+
+type params = {
+  num_servers : int;
+  num_flows : int;
+  zipf_s : float; (* popularity skew; 0 = uniform *)
+  alpha : float; (* Pareto shape for route lengths *)
+  max_route : int;
+  utilization : float;
+  max_burst : float;
+  peak : float;
+  rate_spread : float;
+  seed : int;
+}
+
+let default =
+  {
+    num_servers = 40;
+    num_flows = 60;
+    zipf_s = 0.8;
+    alpha = 1.3;
+    max_route = 8;
+    utilization = 0.6;
+    max_burst = 2.;
+    peak = 1.;
+    rate_spread = 0.;
+    seed = 42;
+  }
+
+let generate p =
+  if p.num_servers < 2 then invalid_arg "Heavytail.generate: num_servers < 2";
+  if p.num_flows < 1 then invalid_arg "Heavytail.generate: num_flows < 1";
+  if p.zipf_s < 0. then invalid_arg "Heavytail.generate: zipf_s < 0";
+  if p.max_route < 2 then invalid_arg "Heavytail.generate: max_route < 2";
+  if p.rate_spread < 0. || p.rate_spread >= 1. then
+    invalid_arg "Heavytail.generate: rate_spread must be in [0, 1)";
+  let rng = Random.State.make [| p.seed |] in
+  let rates = Hashtbl.create (max 16 p.num_servers) in
+  let servers =
+    List.init p.num_servers (fun i ->
+        let rate =
+          1. -. p.rate_spread +. Random.State.float rng (2. *. p.rate_spread)
+        in
+        Hashtbl.replace rates i rate;
+        Server.make ~id:i ~name:(Printf.sprintf "h%d" i) ~rate ())
+  in
+  (* Zipf sampling via prefix sums + binary search: server i is drawn
+     with probability proportional to 1 / (i + 1)^s. *)
+  let prefix = Array.make p.num_servers 0. in
+  let total =
+    let acc = ref 0. in
+    Array.iteri
+      (fun i _ ->
+        acc := !acc +. (1. /. Float.pow (float_of_int (i + 1)) p.zipf_s);
+        prefix.(i) <- !acc)
+      prefix;
+    !acc
+  in
+  let sample () =
+    let u = Random.State.float rng total in
+    let lo = ref 0 and hi = ref (p.num_servers - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if prefix.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let module IS = Set.Make (Int) in
+  let draw_route () =
+    let len =
+      int_of_float
+        (Float.round
+           (Genutil.bounded_pareto rng ~alpha:p.alpha ~lo:2.
+              ~hi:(float_of_int (min p.max_route p.num_servers))))
+    in
+    let len = max 2 len in
+    (* Collect [len] distinct servers; the attempt cap only matters for
+       tiny networks where the Zipf head is nearly exhausted. *)
+    let rec fill acc attempts =
+      if IS.cardinal acc >= len || attempts > 64 * len then acc
+      else fill (IS.add (sample ()) acc) (attempts + 1)
+    in
+    let picked = fill IS.empty 0 in
+    (* Ascending ids: distinct and increasing, hence feedforward. *)
+    IS.elements picked
+  in
+  let raw =
+    List.init p.num_flows (fun i ->
+        let route = draw_route () in
+        let sigma = Genutil.draw_sigma rng ~max_burst:p.max_burst in
+        let w = Random.State.float rng 1.0 +. 0.1 in
+        (i, route, sigma, w))
+  in
+  let flows =
+    Genutil.scale_to_utilization
+      ~rate_of:(fun sid -> Hashtbl.find rates sid)
+      ~utilization:p.utilization ~peak:p.peak raw
+  in
+  Network.make ~servers ~flows

@@ -1,0 +1,31 @@
+(** Heavy-tailed random feedforward DAGs (seeded, deterministic).
+
+    Servers are popularity-ranked; each route visits Zipf-sampled
+    servers in ascending id order (feedforward for free) with
+    bounded-Pareto route lengths.  A few hub servers carry a large
+    share of the flows, most carry almost none — the hub-and-tail
+    shape of real WANs and service meshes, and the adversarial case
+    for frontier accounting: many antichain levels of wildly uneven
+    width. *)
+
+type params = {
+  num_servers : int;   (** >= 2 *)
+  num_flows : int;
+  zipf_s : float;      (** popularity skew; 0 = uniform sampling *)
+  alpha : float;       (** Pareto shape for route lengths *)
+  max_route : int;     (** route-length cap, >= 2 *)
+  utilization : float; (** target max utilization, in (0, 1) *)
+  max_burst : float;
+  peak : float;        (** source peak rate; [infinity] for none *)
+  rate_spread : float; (** server rates uniform in [1-s, 1+s] *)
+  seed : int;
+}
+
+val default : params
+(** 40 servers, 60 flows, zipf 0.8, Pareto 1.3 routes capped at 8,
+    utilization 0.6, seed 42. *)
+
+val generate : params -> Network.t
+(** All servers FIFO; source rates scaled to the target utilization
+    ({!Genutil.scale_to_utilization}).  Feedforward by construction
+    (routes are strictly ascending in server id). *)

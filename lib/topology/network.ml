@@ -4,6 +4,13 @@ type t = {
   servers : Server.t Int_map.t;
   flow_list : Flow.t list;
   flow_map : Flow.t Int_map.t;
+  (* Eager incidence index, built once in [make]: the analyses query
+     [flows_at] once per server per pass, and the O(flows) list filter
+     it used to be dominates everything past a few hundred servers. *)
+  by_server : Flow.t list Int_map.t;
+  (* Routing-DAG adjacency (deduplicated successors, ascending), the
+     one-pass replacement for filtering the global edge list. *)
+  succ_map : int list Int_map.t;
 }
 
 exception Cyclic
@@ -36,7 +43,35 @@ let make ~servers ~flows =
         else Int_map.add f.id f acc)
       Int_map.empty flows
   in
-  { servers = server_map; flow_list = flows; flow_map }
+  (* One pass over all routes builds both indices.  Accumulate reversed
+     (cons is O(1)), then flip so [flows_at] preserves [flow_list]
+     order and successors come out ascending and deduplicated. *)
+  let by_server_rev = Hashtbl.create (max 16 (Int_map.cardinal server_map)) in
+  let succ_sets = Hashtbl.create (max 16 (Int_map.cardinal server_map)) in
+  List.iter
+    (fun (f : Flow.t) ->
+      List.iter
+        (fun sid ->
+          let cur = try Hashtbl.find by_server_rev sid with Not_found -> [] in
+          Hashtbl.replace by_server_rev sid (f :: cur))
+        f.route;
+      List.iter
+        (fun (a, b) ->
+          let cur = try Hashtbl.find succ_sets a with Not_found -> [] in
+          Hashtbl.replace succ_sets a (b :: cur))
+        (Flow.hop_pairs f))
+    flows;
+  let by_server =
+    Hashtbl.fold
+      (fun sid fs acc -> Int_map.add sid (List.rev fs) acc)
+      by_server_rev Int_map.empty
+  in
+  let succ_map =
+    Hashtbl.fold
+      (fun sid ss acc -> Int_map.add sid (List.sort_uniq compare ss) acc)
+      succ_sets Int_map.empty
+  in
+  { servers = server_map; flow_list = flows; flow_map; by_server; succ_map }
 
 let server net id =
   match Int_map.find_opt id net.servers with
@@ -54,44 +89,100 @@ let flow net id =
 let size net = Int_map.cardinal net.servers
 
 let flows_at net sid =
-  List.filter (fun f -> Flow.traverses f sid) net.flow_list
+  match Int_map.find_opt sid net.by_server with Some fs -> fs | None -> []
+
+let successors net sid =
+  match Int_map.find_opt sid net.succ_map with Some ss -> ss | None -> []
 
 let edges net =
-  net.flow_list
-  |> List.concat_map Flow.hop_pairs
-  |> List.sort_uniq compare
+  (* succ_map iterates in ascending source order with ascending
+     successor lists, so this is already the lexicographically sorted,
+     deduplicated edge list the old sort_uniq produced. *)
+  Int_map.fold
+    (fun src succs acc ->
+      List.fold_left (fun acc dst -> (src, dst) :: acc) acc succs)
+    net.succ_map []
+  |> List.rev
+
+let total_hop_count net =
+  List.fold_left
+    (fun acc (f : Flow.t) -> acc + List.length f.route)
+    0 net.flow_list
+
+let indegrees net =
+  let indegree = Hashtbl.create (max 16 (size net)) in
+  Int_map.iter (fun id _ -> Hashtbl.replace indegree id 0) net.servers;
+  Int_map.iter
+    (fun _ succs ->
+      List.iter
+        (fun dst -> Hashtbl.replace indegree dst (Hashtbl.find indegree dst + 1))
+        succs)
+    net.succ_map;
+  indegree
 
 let topological_order net =
-  let es = edges net in
-  let indegree = Hashtbl.create 64 in
-  Int_map.iter (fun id _ -> Hashtbl.replace indegree id 0) net.servers;
-  List.iter
-    (fun (_, dst) -> Hashtbl.replace indegree dst (Hashtbl.find indegree dst + 1))
-    es;
-  let successors src = List.filter_map
-      (fun (a, b) -> if a = src then Some b else None) es
-  in
+  let indegree = indegrees net in
   let ready =
     Int_map.fold
       (fun id _ acc -> if Hashtbl.find indegree id = 0 then id :: acc else acc)
       net.servers []
     |> List.sort compare
   in
+  let count = ref 0 in
   let rec kahn order = function
     | [] -> List.rev order
     | id :: rest ->
+        incr count;
         let next =
           List.fold_left
             (fun acc succ ->
               let d = Hashtbl.find indegree succ - 1 in
               Hashtbl.replace indegree succ d;
               if d = 0 then succ :: acc else acc)
-            [] (successors id)
+            [] (successors net id)
         in
         kahn (id :: order) (List.sort compare next @ rest)
   in
   let order = kahn [] ready in
-  if List.length order <> size net then raise Cyclic else order
+  if !count <> size net then raise Cyclic else order
+
+let levels net =
+  (* Longest-path layering: level 0 is the sources, and every edge goes
+     from a strictly lower level to a strictly higher one, so each
+     level is an antichain of the routing DAG.  A node becomes ready in
+     the Kahn wave after its last predecessor's, so the waves are
+     exactly the longest-path levels; one pass, O(V + E). *)
+  let indegree = indegrees net in
+  let ready =
+    Int_map.fold
+      (fun id _ acc -> if Hashtbl.find indegree id = 0 then id :: acc else acc)
+      net.servers []
+    |> List.sort compare
+  in
+  let count = ref 0 in
+  let rec walk acc = function
+    | [] -> List.rev acc
+    | frontier ->
+        count := !count + List.length frontier;
+        let next =
+          List.fold_left
+            (fun acc id ->
+              List.fold_left
+                (fun acc succ ->
+                  let d = Hashtbl.find indegree succ - 1 in
+                  Hashtbl.replace indegree succ d;
+                  if d = 0 then succ :: acc else acc)
+                acc (successors net id))
+            [] frontier
+          |> List.sort compare
+        in
+        walk (frontier :: acc) next
+  in
+  let ls = walk [] ready in
+  if !count <> size net then raise Cyclic else ls
+
+let widest_antichain net =
+  List.fold_left (fun acc l -> max acc (List.length l)) 0 (levels net)
 
 let is_feedforward net =
   match topological_order net with _ -> true | exception Cyclic -> false
@@ -113,6 +204,22 @@ let stable net =
   max_utilization net <~ 1.
 
 let with_flows net flows = make ~servers:(servers net) ~flows
+
+let restrict net ~flow_ids =
+  let keep =
+    List.filter_map
+      (fun id -> Int_map.find_opt id net.flow_map)
+      (List.sort_uniq compare flow_ids)
+  in
+  let wanted = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Flow.t) ->
+      List.iter (fun sid -> Hashtbl.replace wanted sid ()) f.route)
+    keep;
+  let sub_servers =
+    List.filter (fun (s : Server.t) -> Hashtbl.mem wanted s.id) (servers net)
+  in
+  make ~servers:sub_servers ~flows:keep
 
 let pp ppf net =
   Format.fprintf ppf "network: %d servers, %d flows, max util %.3f" (size net)

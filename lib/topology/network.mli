@@ -25,14 +25,39 @@ val flow : t -> int -> Flow.t
 val size : t -> int
 
 val flows_at : t -> int -> Flow.t list
-(** All flows whose route contains the server, in flow-id order. *)
+(** All flows whose route contains the server, in flow-list order.
+    Served from an index built once in {!make}, so it is O(1) — the
+    analyses call it once per server per pass, and a list filter here
+    used to dominate everything past a few hundred servers. *)
 
 val edges : t -> (int * int) list
-(** Deduplicated consecutive route pairs, the routing DAG. *)
+(** Deduplicated consecutive route pairs, the routing DAG,
+    lexicographically sorted. *)
+
+val successors : t -> int -> int list
+(** Deduplicated routing-DAG successors of a server, ascending. *)
+
+val total_hop_count : t -> int
+(** Sum of route lengths over all flows — the number of
+    [(flow, server)] pairs a table-based propagation materializes. *)
 
 val topological_order : t -> int list
 (** Every server id (including isolated ones), sources first.
     @raise Cyclic when the routing graph is not feedforward. *)
+
+val levels : t -> int list list
+(** Antichain decomposition of the routing DAG: level 0 is the
+    zero-indegree servers (plus isolated ones) and every edge goes from
+    a strictly lower level to a strictly higher one, so no two servers
+    of a level depend on each other — the unit of parallel sharding in
+    the streaming propagation engine.  Levels are the longest-path
+    layering; each level is sorted ascending.  O(V + E).
+    @raise Cyclic when the routing graph is not feedforward. *)
+
+val widest_antichain : t -> int
+(** Size of the largest {!levels} entry — the bound on how many servers
+    are ever analyzed concurrently, and the yardstick for the streaming
+    engine's peak frontier. *)
 
 val is_feedforward : t -> bool
 
@@ -49,5 +74,12 @@ val stable : t -> bool
 val with_flows : t -> Flow.t list -> t
 (** Same servers, different flow population (used by admission
     control). *)
+
+val restrict : t -> flow_ids:int list -> t
+(** Induced sub-network: exactly the given flows (unknown ids are
+    ignored) and the servers their routes visit.  Used to sample a
+    simulable slice of a generated massive topology for
+    cross-validation — note the sample drops the cross traffic, so its
+    bounds are for the sub-network, not the original. *)
 
 val pp : Format.formatter -> t -> unit
