@@ -72,7 +72,11 @@ let analyze ?(options = Options.default) net =
 let local_delay t ~flow ~server =
   match Hashtbl.find_opt t.locals (flow, server) with
   | Some d -> d
-  | None -> raise Not_found
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Decomposed.local_delay: flow %d does not cross server %d" flow
+           server)
 
 let flow_delay t id =
   let f = Network.flow t.net id in
@@ -136,7 +140,11 @@ let local_backlog t ~flow ~server =
   let target =
     match List.find_opt (fun (f : Flow.t) -> f.id = flow) present with
     | Some f -> f
-    | None -> raise Not_found
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Decomposed.local_backlog: flow %d does not cross server %d" flow
+             server)
   in
   if poisoned_server t server then infinity
   else

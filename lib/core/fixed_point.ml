@@ -103,7 +103,11 @@ let analyze ?(options = Options.default) ?(max_iter = 200) ?(tol = 1e-9) net =
 let local_delay t ~flow ~server =
   match Hashtbl.find_opt t.locals (flow, server) with
   | Some d -> if t.converged then d else infinity
-  | None -> raise Not_found
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Fixed_point.local_delay: flow %d does not cross server %d" flow
+           server)
 
 let flow_delay t id =
   if not t.converged then infinity

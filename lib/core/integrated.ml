@@ -229,15 +229,22 @@ let all_flow_delays t =
   |> List.map (fun (f : Flow.t) -> (f.id, flow_delay t f.id))
   |> List.sort compare
 
-let subnet_delay t ~flow ~subnet =
+let subnet_delay_opt t ~flow ~subnet =
   let idx = ref None in
   Array.iteri (fun i s -> if s = subnet then idx := Some i) t.pairing;
   match !idx with
-  | None -> raise Not_found
-  | Some i -> (
-      match Hashtbl.find_opt t.contributions (flow, i) with
-      | Some d -> d
-      | None -> raise Not_found)
+  | None -> None
+  | Some i -> Hashtbl.find_opt t.contributions (flow, i)
+
+let subnet_delay t ~flow ~subnet =
+  match subnet_delay_opt t ~flow ~subnet with
+  | Some d -> d
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Integrated.subnet_delay: flow %d does not cross the requested \
+            subnet"
+           flow)
 
 let envelope_at t ~flow ~server =
   if Hashtbl.mem t.poisoned (flow, server) then
@@ -250,7 +257,11 @@ let server_backlog t sid =
 let local_backlog t ~flow ~server =
   match Hashtbl.find_opt t.flow_backlogs (flow, server) with
   | Some b -> b
-  | None -> raise Not_found
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Integrated.local_backlog: flow %d does not cross server %d" flow
+           server)
 
 let server_flow_backlogs t sid =
   Network.flows_at t.net sid

@@ -38,7 +38,12 @@ val all_flow_delays : t -> (int * float) list
 
 val subnet_delay : t -> flow:int -> subnet:Pairing.subnet -> float
 (** The delay contribution a flow picks up in one subnetwork of the
-    pairing.  @raise Not_found if the flow does not cross it. *)
+    pairing.  @raise Invalid_argument if the flow does not cross it. *)
+
+val subnet_delay_opt : t -> flow:int -> subnet:Pairing.subnet -> float option
+(** [None] when the flow does not cross the subnetwork: for callers
+    that enumerate the whole pairing and treat absence as data (the
+    report tables). *)
 
 val envelope_at : t -> flow:int -> server:int -> Pwl.t
 (** Input envelope of a flow at a hop as propagated by this analysis. *)
@@ -56,7 +61,7 @@ val server_flow_backlogs : t -> int -> (int * float) list
 
 val local_backlog : t -> flow:int -> server:int -> float
 (** The flow's backlog bound at one of its hops.
-    @raise Not_found when the flow does not cross the server. *)
+    @raise Invalid_argument when the flow does not cross the server. *)
 
 val flow_backlog : t -> int -> float
 (** The flow's buffer requirement: its worst per-hop backlog bound

@@ -318,7 +318,11 @@ let server_backlog t sid =
 let local_backlog t ~flow ~server =
   match Hashtbl.find_opt t.flow_backlogs (flow, server) with
   | Some b -> b
-  | None -> raise Not_found
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Integrated_sp.local_backlog: flow %d does not cross server %d"
+           flow server)
 
 let server_flow_backlogs t sid =
   Network.flows_at t.net sid

@@ -49,7 +49,7 @@ val server_flow_backlogs : t -> int -> (int * float) list
 
 val local_backlog : t -> flow:int -> server:int -> float
 (** The flow's backlog bound at one of its hops.
-    @raise Not_found when the flow does not cross the server. *)
+    @raise Invalid_argument when the flow does not cross the server. *)
 
 val flow_backlog : t -> int -> float
 (** The flow's buffer requirement: its worst per-hop backlog bound

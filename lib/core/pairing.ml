@@ -108,12 +108,9 @@ let singletons net =
   List.map (fun (s : Server.t) -> Single s.id) (Network.servers net)
 
 let along_route net flow_id =
-  let f =
-    match Network.flow net flow_id with
-    | f -> f
-    | exception Not_found ->
-        invalid_arg (Printf.sprintf "Pairing: unknown flow %d" flow_id)
-  in
+  (* [Network.flow] itself raises a descriptive [Invalid_argument] for
+     an unknown id. *)
+  let f = Network.flow net flow_id in
   let rec pair_up = function
     | u :: v :: rest -> Pair (u, v) :: pair_up rest
     | [ u ] -> [ Single u ]

@@ -213,7 +213,11 @@ let analyze ?(options = Options.default) ?jobs net =
 let local_delay t ~flow ~server =
   match Hashtbl.find_opt t.locals (flow, server) with
   | Some d -> d
-  | None -> raise Not_found
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Propagation_stream.local_delay: flow %d does not cross server %d"
+           flow server)
 
 let flow_delay t id =
   let f = Network.flow t.net id in

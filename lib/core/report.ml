@@ -89,12 +89,10 @@ let integrated a =
       let contributions =
         List.filter_map
           (fun subnet ->
-            match Integrated.subnet_delay a ~flow:f.id ~subnet with
-            | d ->
-                Some
-                  (Format.asprintf "%a:%s" Pairing.pp [ subnet ]
-                     (Table.float_cell d))
-            | exception Not_found -> None)
+            Integrated.subnet_delay_opt a ~flow:f.id ~subnet
+            |> Option.map (fun d ->
+                   Format.asprintf "%a:%s" Pairing.pp [ subnet ]
+                     (Table.float_cell d)))
           (Integrated.pairing a)
       in
       Table.add_row flows

@@ -6,6 +6,9 @@ let on =
 [@@lint.domain_safe
   "single boolean toggled from the main domain before parallel regions; a \
    stale read only delays when recording starts, never corrupts state"]
+[@@lint.waive
+    "cache-key: observability switch; it gates metric recording only and \
+     never influences computed bounds"]
 
 let enabled () = !on
 let enable () = on := true

@@ -11,11 +11,27 @@ let now_s () = now_us () /. 1e6
    [m]: netcalc.par workers record spans concurrently, and an unlocked
    ring would tear its indices. *)
 let m = Obs_sync.create ()
-let cap = ref 65536
+let cap =
+  ref 65536
+[@@lint.waive
+    "cache-key: trace ring capacity; observability state never feeds back \
+     into computed bounds"]
 let ring : event option array ref = ref [||]
-let write_idx = ref 0
-let stored = ref 0
-let dropped_count = ref 0
+let write_idx =
+  ref 0
+[@@lint.waive
+    "cache-key: trace ring cursor; observability state never feeds back \
+     into computed bounds"]
+let stored =
+  ref 0
+[@@lint.waive
+    "cache-key: trace ring counter; observability state never feeds back \
+     into computed bounds"]
+let dropped_count =
+  ref 0
+[@@lint.waive
+    "cache-key: trace ring counter; observability state never feeds back \
+     into computed bounds"]
 
 (* Open spans, innermost first — per domain.  Span nesting is a
    property of one thread of control: a worker's spans must pop in the

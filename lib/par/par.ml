@@ -14,7 +14,11 @@ let env_jobs =
         | Some n when n >= 1 -> Some n
         | Some _ | None -> None))
 
-let override = ref None
+let override =
+  ref None
+[@@lint.waive
+    "cache-key: jobs override; Par results are bit-identical at any jobs \
+     count (pinned by the determinism tests)"]
 [@@lint.domain_safe
   "written by set_jobs/clear_jobs from the main domain during setup, before \
    any parallel region runs; workers never touch it (netcalc.par depends on \
@@ -44,24 +48,46 @@ let mapi ?jobs:requested f xs =
     List.mapi f xs
   else begin
     let out = Array.make n None in
-    let first_err = Atomic.make None in
+    (* Exception transport is by smallest failing index, not by which
+       domain's failure is observed first: a bare "first CAS wins"
+       would surface a schedule-dependent exception.  Workers race to
+       keep the minimum, and a chunk is only skipped when a failure
+       strictly before its range is already recorded (such a chunk
+       cannot produce a smaller index).  The raised exception is then
+       the one the sequential run would raise, at any jobs count. *)
+    let first_err : (int * exn) option Atomic.t = Atomic.make None in
+    let record i e =
+      let rec go () =
+        match Atomic.get first_err with
+        | Some (j, _) when j <= i -> ()
+        | cur ->
+            if not (Atomic.compare_and_set first_err cur (Some (i, e))) then
+              go ()
+      in
+      go ()
+    in
     (* Small chunks (several per worker) so an expensive cell — high
        utilization, many hops — does not leave the other domains idle;
        index-ordered assembly keeps the output deterministic anyway. *)
     let chunk = max 1 (n / (jobs * 4)) in
     let chunks = (n + chunk - 1) / chunk in
     let body c =
-      if Atomic.get first_err = None then begin
-        let lo = c * chunk and hi = min n ((c + 1) * chunk) - 1 in
+      let lo = c * chunk and hi = min n ((c + 1) * chunk) - 1 in
+      let skip =
+        match Atomic.get first_err with Some (j, _) -> j < lo | None -> false
+      in
+      if not skip then begin
+        let i = ref lo in
         try
-          for i = lo to hi do
-            out.(i) <- Some (f i arr.(i))
+          while !i <= hi do
+            out.(!i) <- Some (f !i arr.(!i));
+            incr i
           done
-        with e -> ignore (Atomic.compare_and_set first_err None (Some e))
+        with e -> record !i e
       end
     in
     Par_backend.parallel_for ~jobs ~chunks body;
-    (match Atomic.get first_err with Some e -> raise e | None -> ());
+    (match Atomic.get first_err with Some (_, e) -> raise e | None -> ());
     Array.to_list
       (Array.map (function Some v -> v | None -> assert false) out)
   end

@@ -51,11 +51,13 @@ val jobs : unit -> int
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] is [List.map f xs], computed with up to [jobs] domains.
-    Order is preserved.  If any application raises, the first observed
-    exception is re-raised in the caller after all in-flight chunks
-    complete (remaining chunks are abandoned).  [f] runs in an
-    unspecified order, possibly concurrently — it must not rely on
-    shared mutable state beyond what it synchronizes itself. *)
+    Order is preserved.  If any application raises, the exception of
+    the {e smallest failing index} is re-raised in the caller after
+    in-flight chunks complete — the same exception the sequential run
+    surfaces, so failure behavior is deterministic at any jobs count.
+    [f] runs in an unspecified order, possibly concurrently — it must
+    not rely on shared mutable state beyond what it synchronizes
+    itself. *)
 
 val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
 (** Indexed {!map}. *)

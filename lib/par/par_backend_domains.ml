@@ -79,8 +79,14 @@ let current : job option ref = ref None
 
 let generation = ref 0
 [@@lint.domain_safe "read/written under pool_m (raw Mutex; see above)"]
+[@@lint.waive
+    "cache-key: pool bookkeeping; Par results are bit-identical at any jobs \
+     count (pinned by the determinism tests)"]
 
 let live = ref true
+[@@lint.waive
+    "cache-key: pool bookkeeping; Par results are bit-identical at any jobs \
+     count (pinned by the determinism tests)"]
 [@@lint.domain_safe
   "written under pool_m; the one unlocked read in parallel_for is a benign \
    monotone check (false only after shutdown, when falling back to the \
@@ -91,6 +97,9 @@ let workers : unit Domain.t list ref = ref []
 
 let pool_size = ref 0
 [@@lint.domain_safe "read/written under pool_m (raw Mutex; see above)"]
+[@@lint.waive
+    "cache-key: worker-pool size; Par results are bit-identical at any \
+     jobs count (pinned by the determinism tests)"]
 
 let worker () =
   let seen = ref 0 in

@@ -92,10 +92,22 @@ let hash_segs segs =
 
 let intern_lock = Obs_sync.create ()
 let intern_cap = 16384
-let intern_on = ref true
+let intern_on =
+  ref true
+[@@lint.waive
+    "cache-key: toggles interning only; interned and fresh curves are \
+     content-equal, so cached results are unchanged"]
 let intern_tbl : (int, t list) Hashtbl.t = Hashtbl.create 1024
-let intern_count = ref 0
-let next_uid = ref 0
+let intern_count =
+  ref 0
+[@@lint.waive
+    "cache-key: intern-table occupancy counter; interning is \
+     content-transparent"]
+let next_uid =
+  ref 0
+[@@lint.waive
+    "cache-key: uid allocation counter; uids name values, they never \
+     influence computed curve content"]
 
 (* Hit/miss counters are recorded unconditionally, mirroring the
    [Minplus] cache counters: [intern_stats] must be accurate even when

@@ -59,9 +59,9 @@ let all_flow_delays t =
   |> List.sort compare
 
 let query t id =
-  match Network.flow t.net id with
-  | exception Not_found -> None
-  | f -> Some (f, flow_delay t id)
+  match Network.flow_opt t.net id with
+  | None -> None
+  | Some f -> Some (f, flow_delay t id)
 
 (* Backlog accessors: the same shared [Backlog] code path as
    [Decomposed], over this engine's incrementally maintained envelope
@@ -84,7 +84,11 @@ let local_backlog t ~flow ~server =
   let target =
     match List.find_opt (fun (f : Flow.t) -> f.id = flow) present with
     | Some f -> f
-    | None -> raise Not_found
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Delta_engine.local_backlog: flow %d does not cross server %d"
+             flow server)
   in
   if poisoned_server t server then infinity
   else
@@ -402,9 +406,9 @@ let admit t (cand : Flow.t) =
           end)
 
 let teardown t id =
-  match Network.flow t.net id with
-  | exception Not_found -> Error `Unknown_flow
-  | f ->
+  match Network.flow_opt t.net id with
+  | None -> Error `Unknown_flow
+  | Some f ->
       let flows' =
         List.filter (fun (g : Flow.t) -> g.id <> id) (Network.flows t.net)
       in

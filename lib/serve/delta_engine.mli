@@ -55,7 +55,7 @@ val query : t -> int -> (Flow.t * float) option
 (** A present flow and its current end-to-end bound. *)
 
 val flow_delay : t -> int -> float
-(** @raise Not_found for an absent flow. *)
+(** @raise Invalid_argument for an absent flow. *)
 
 val all_flow_delays : t -> (int * float) list
 (** [(flow id, bound)] for every flow, in id order — same shape as
@@ -72,11 +72,11 @@ val server_flow_backlogs : t -> int -> (int * float) list
 
 val local_backlog : t -> flow:int -> server:int -> float
 (** The flow's backlog bound at one of its hops.
-    @raise Not_found when the flow does not cross the server. *)
+    @raise Invalid_argument when the flow does not cross the server. *)
 
 val flow_backlog : t -> int -> float
 (** The flow's buffer requirement: its worst per-hop backlog bound over
-    its route.  @raise Not_found for an absent flow. *)
+    its route.  @raise Invalid_argument for an absent flow. *)
 
 val network : t -> Network.t
 (** Current network; flow list order is base order + admission order

@@ -280,28 +280,41 @@ let do_stats t =
 (* Dispatch                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Every request must produce a response: an exception escaping the
+   dispatch kills the session — and with it every later request on the
+   connection.  The two expected failure classes map to [bad_request];
+   anything else becomes an [internal_error] response instead of a
+   crash.  The [@@lint.exn_barrier] attribute makes the typed linter
+   enforce that this closure stays total as operations are added. *)
 let handle_line t line =
-  match Sjson.parse line with
-  | exception Sjson.Parse_error msg ->
-      obj [ ok false; str "error" "parse_error"; str "detail" msg ]
-  | j -> (
-      match field "op" Sjson.to_string j with
-      | exception Bad_request msg -> bad_request msg
-      | None -> bad_request "missing or invalid \"op\" field"
-      | Some op -> (
-          try
-            match op with
-            | "admit" -> (
-                match Sjson.member "flow" j with
-                | None -> raise (Bad_request "missing \"flow\" field")
-                | Some fj -> do_admit t (flow_of_json fj))
-            | "teardown" -> do_teardown t (req "flow" Sjson.to_int j)
-            | "query" -> do_query t (req "flow" Sjson.to_int j)
-            | "stats" -> do_stats t
-            | op -> obj [ ok false; str "error" "unknown_op"; str "detail" op ]
-          with
-          | Bad_request msg -> bad_request msg
-          | Invalid_argument msg -> bad_request msg))
+  (try
+     match Sjson.parse line with
+     | exception Sjson.Parse_error msg ->
+         obj [ ok false; str "error" "parse_error"; str "detail" msg ]
+     | j -> (
+         match field "op" Sjson.to_string j with
+         | None -> bad_request "missing or invalid \"op\" field"
+         | Some op -> (
+             match op with
+             | "admit" -> (
+                 match Sjson.member "flow" j with
+                 | None -> raise (Bad_request "missing \"flow\" field")
+                 | Some fj -> do_admit t (flow_of_json fj))
+             | "teardown" -> do_teardown t (req "flow" Sjson.to_int j)
+             | "query" -> do_query t (req "flow" Sjson.to_int j)
+             | "stats" -> do_stats t
+             | op ->
+                 obj [ ok false; str "error" "unknown_op"; str "detail" op ]))
+   with
+  | Bad_request msg -> bad_request msg
+  | Invalid_argument msg -> bad_request msg
+  | e ->
+      obj
+        [ ok false;
+          str "error" "internal_error";
+          str "detail" (Printexc.to_string e)
+        ])
+[@@lint.exn_barrier]
 
 let session t ~next ~emit =
   let rec loop () =

@@ -46,7 +46,10 @@ val create :
 val handle_line : t -> string -> string
 (** Process one request line, return one response line (no trailing
     newline).  Never raises: malformed input becomes an in-band
-    [{"ok":false,...}] response. *)
+    [{"ok":false,...}] response, and any unexpected exception an
+    [{"ok":false,"error":"internal_error",...}] one.  The typed
+    linter enforces totality via the [@@lint.exn_barrier] attribute
+    on the implementation. *)
 
 val session : t -> next:(unit -> string option) -> emit:(string -> unit) -> unit
 (** Pull request lines from [next] until it returns [None], emitting

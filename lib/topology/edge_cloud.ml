@@ -141,4 +141,6 @@ let generate p =
 let total_latency t ~queueing flow_id =
   match List.assoc_opt flow_id t.base_latency with
   | Some base -> base +. queueing
-  | None -> raise Not_found
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Edge_cloud.total_latency: unknown flow %d" flow_id)

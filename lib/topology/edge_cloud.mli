@@ -46,4 +46,4 @@ val generate : params -> t
 
 val total_latency : t -> queueing:float -> int -> float
 (** [total_latency t ~queueing id] adds flow [id]'s wire latency to a
-    queueing-delay bound.  @raise Not_found on an unknown flow. *)
+    queueing-delay bound.  @raise Invalid_argument on an unknown flow. *)

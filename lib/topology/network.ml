@@ -76,15 +76,18 @@ let make ~servers ~flows =
 let server net id =
   match Int_map.find_opt id net.servers with
   | Some s -> s
-  | None -> raise Not_found
+  | None ->
+      invalid_arg (Printf.sprintf "Network.server: unknown server id %d" id)
 
 let servers net = List.map snd (Int_map.bindings net.servers)
 let flows net = net.flow_list
 
+let flow_opt net id = Int_map.find_opt id net.flow_map
+
 let flow net id =
-  match Int_map.find_opt id net.flow_map with
+  match flow_opt net id with
   | Some f -> f
-  | None -> raise Not_found
+  | None -> invalid_arg (Printf.sprintf "Network.flow: unknown flow id %d" id)
 
 let size net = Int_map.cardinal net.servers
 

@@ -15,13 +15,22 @@ val make : servers:Server.t list -> flows:Flow.t list -> t
     route mentions an unknown server. *)
 
 val server : t -> int -> Server.t
-(** @raise Not_found for an unknown id. *)
+(** @raise Invalid_argument for an unknown id (a descriptive error
+    rather than an ambient [Not_found], so a bad id surfaces with
+    context even when the lookup happens on a [Par] worker). *)
 
 val servers : t -> Server.t list
 (** In increasing id order. *)
 
 val flows : t -> Flow.t list
+
 val flow : t -> int -> Flow.t
+(** @raise Invalid_argument for an unknown id. *)
+
+val flow_opt : t -> int -> Flow.t option
+(** [None] for an unknown id: for callers that treat absence as data
+    (the serve teardown path) rather than as a usage error. *)
+
 val size : t -> int
 
 val flows_at : t -> int -> Flow.t list

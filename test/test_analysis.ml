@@ -258,6 +258,41 @@ let test_decomposed_locals_match () =
         (Decomposed.local_delay a ~flow:0 ~server:k))
     expected
 
+(* Off-route lookups: the engines raise a descriptive
+   Invalid_argument, never an ambient Not_found (which Par workers
+   and the serve loop would see as stray control flow), and the _opt
+   variant mirrors the raising one exactly. *)
+let test_off_route_lookups () =
+  let t = tandem 3 0.5 in
+  let a = Decomposed.analyze t.network in
+  let expect_invalid what f =
+    try
+      ignore (f ());
+      Alcotest.failf "%s: expected Invalid_argument" what
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "Decomposed.local_delay" (fun () ->
+      Decomposed.local_delay a ~flow:0 ~server:999);
+  expect_invalid "Decomposed.local_backlog" (fun () ->
+      Decomposed.local_backlog a ~flow:0 ~server:999);
+  let i = Integrated.analyze t.network in
+  expect_invalid "Integrated.local_backlog" (fun () ->
+      Integrated.local_backlog i ~flow:0 ~server:999);
+  let off_route = ref 0 in
+  List.iter
+    (fun subnet ->
+      match Integrated.subnet_delay_opt i ~flow:0 ~subnet with
+      | Some d ->
+          approx "subnet_delay agrees with _opt" d
+            (Integrated.subnet_delay i ~flow:0 ~subnet)
+      | None ->
+          incr off_route;
+          expect_invalid "Integrated.subnet_delay off-route" (fun () ->
+              Integrated.subnet_delay i ~flow:0 ~subnet))
+    (Integrated.pairing i);
+  check_bool "some subnet is off-route for the through flow" true
+    (!off_route > 0)
+
 let test_service_curve_matches_closed_form () =
   List.iter
     (fun (n, u) ->
@@ -541,6 +576,7 @@ let suite =
       test "pairing rejects contraction cycles"
         test_pairing_rejects_contraction_cycle;
       test "pairing validates cover" test_pairing_validate_cover;
+      test "off-route lookups raise Invalid_argument" test_off_route_lookups;
       test "pair: pay bursts only once" test_pair_pay_burst_once;
       test "pair dominates locals" test_pair_dominates_locals;
       test "pair unstable" test_pair_unstable;

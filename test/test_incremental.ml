@@ -242,6 +242,48 @@ let test_compaction_prunes () =
   check_bool "pruned bound still a valid upper bound" true
     (d_pruned >= d_exact -. 1e-9)
 
+(* Key-coverage audit: every process input that can change a memoized
+   result must be folded into net_key — the compaction knobs (eps and
+   max_segs), the pairing strategy, and the curve-backend tag.  A miss
+   here is silent: the memo would replay a value computed under
+   different settings. *)
+let test_net_key_coverage () =
+  with_incremental true (fun () ->
+      let net = (Tandem.make ~n:2 ~utilization:0.5 ()).network in
+      let tbl : int Incremental.table = Incremental.table () in
+      let calls = ref 0 in
+      let get key =
+        ignore
+          (Incremental.memoize tbl key (fun () ->
+               incr calls;
+               !calls))
+      in
+      get (Incremental.net_key ~options:Options.default net);
+      get (Incremental.net_key ~options:Options.default net);
+      Alcotest.(check int) "identical inputs hit the memo" 1 !calls;
+      get
+        (Incremental.net_key
+           ~options:(Options.with_compaction 0.25 Options.default)
+           net);
+      Alcotest.(check int) "compaction eps is keyed" 2 !calls;
+      get
+        (Incremental.net_key
+           ~options:(Options.with_compaction ~max_segs:5 0.25 Options.default)
+           net);
+      Alcotest.(check int) "compaction max_segs is keyed" 3 !calls;
+      get
+        (Incremental.net_key ~options:Options.default
+           ~strategy:(Pairing.Along_route 0) net);
+      Alcotest.(check int) "pairing strategy is keyed" 4 !calls;
+      let prev = Curve_repr.backend () in
+      Fun.protect
+        ~finally:(fun () -> Curve_repr.set_backend prev)
+        (fun () ->
+          Curve_repr.set_backend
+            (match prev with `Pwl -> `Upp | `Upp -> `Pwl);
+          get (Incremental.net_key ~options:Options.default net);
+          Alcotest.(check int) "curve backend is keyed" 5 !calls))
+
 let suite =
   ( "incremental",
     [
@@ -253,6 +295,8 @@ let suite =
       test "hash-consing interns equal curves" test_interning;
       test "interning can be disabled" test_intern_toggle;
       test "memoized analyses are transparent" test_memo_transparent;
+      test "net_key covers every result-changing input"
+        test_net_key_coverage;
       test "structural rebuild hits the memo" test_memo_reuse;
       test "sweep grid = scratch grid, bit for bit" test_sweep_prefix_identity;
       test "largest prefix matches compare_all" test_sweep_saturated_load;

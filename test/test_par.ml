@@ -51,6 +51,25 @@ let test_exception_propagation () =
   | _ -> Alcotest.fail "expected Boom"
   | exception Boom _ -> ()
 
+(* Which exception surfaces must not depend on the schedule: when
+   several elements fail, the one raised is the sequential one — the
+   smallest failing index — at any jobs count. *)
+let test_exception_smallest_index () =
+  let xs = List.init 200 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      for _round = 1 to 5 do
+        match
+          Par.map ~jobs (fun i -> if i mod 7 = 3 then raise (Boom i) else i) xs
+        with
+        | _ -> Alcotest.fail "expected Boom"
+        | exception Boom i ->
+            Alcotest.(check int)
+              (Printf.sprintf "jobs=%d raises the first failure" jobs)
+              3 i
+      done)
+    [ 1; 2; 4; 8 ]
+
 let test_nested () =
   let got =
     Par.map ~jobs:4
@@ -287,6 +306,8 @@ let suite =
       test "mapi" test_mapi;
       test "map_reduce folds in order" test_map_reduce;
       test "exception propagation" test_exception_propagation;
+      test "exception is the smallest failing index"
+        test_exception_smallest_index;
       test "nested maps" test_nested;
       test "table byte-identical across jobs" test_jobs_invariance;
       test "sweep engine invariant across jobs and on/off"

@@ -373,6 +373,42 @@ let test_golden_transcript () =
         expected (Serve.handle_line t request))
     golden_transcript
 
+(* handle_line is an exception barrier: every request, however
+   malformed, gets an in-band ok:false response — nothing escapes to
+   kill a session loop serving other clients. *)
+let test_handle_line_is_a_barrier () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let t = golden_server () in
+  List.iter
+    (fun req ->
+      match Serve.handle_line t req with
+      | resp ->
+          Alcotest.(check bool)
+            (Printf.sprintf "in-band error for %S" req)
+            true
+            (contains resp {|"ok":false|})
+      | exception e ->
+          Alcotest.failf "handle_line raised %s on %S" (Printexc.to_string e)
+            req)
+    [
+      "";
+      "not json";
+      "{}";
+      {|{"op":42}|};
+      {|{"op":"nope"}|};
+      {|{"op":"query"}|};
+      {|{"op":"query","flow":"x"}|};
+      {|{"op":"query","flow":999}|};
+      {|{"op":"teardown","flow":999}|};
+      {|{"op":"admit"}|};
+      {|{"op":"admit","flow":{"id":7,"sigma":1,"rho":0.1,"route":[999]}}|};
+      {|{"op":"admit","flow":{"id":7}}|};
+    ]
+
 let test_session_loop () =
   let t = golden_server () in
   let pending = ref (List.map fst golden_transcript @ [ ""; "   " ]) in
@@ -469,6 +505,8 @@ let suite =
       test "sjson: parse errors" test_sjson_errors;
       test "protocol: golden transcript" test_golden_transcript;
       test "protocol: session loop" test_session_loop;
+      test "protocol: handle_line is an exception barrier"
+        test_handle_line_is_a_barrier;
       test "protocol: non-finite sentinels" test_unstable_sentinels;
       test "protocol: delta/full engine parity" test_full_engine_agrees;
     ] )

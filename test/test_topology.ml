@@ -76,6 +76,33 @@ let test_network_validation () =
     Alcotest.fail "expected Invalid_argument for duplicate id"
   with Invalid_argument _ -> ()
 
+(* Unknown-id lookups raise a descriptive Invalid_argument rather than
+   an ambient Not_found — a Not_found leaking out of a lookup is
+   indistinguishable from deliberate control flow once it crosses a
+   Par worker or the serve request loop.  [flow_opt] is the variant
+   for callers that treat absence as data. *)
+let test_lookup_errors () =
+  let msg_contains msg sub =
+    let nh = String.length msg and nn = String.length sub in
+    let rec go i = i + nn <= nh && (String.sub msg i nn = sub || go (i + 1)) in
+    go 0
+  in
+  let net = Network.make ~servers:(servers 2) ~flows:[ flow 0 [ 0; 1 ] ] in
+  (try
+     ignore (Network.server net 9);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument msg ->
+     check_bool "server error names the id" true (msg_contains msg "9"));
+  (try
+     ignore (Network.flow net 9);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument msg ->
+     check_bool "flow error names the id" true (msg_contains msg "9"));
+  check_bool "flow_opt: absent" true (Network.flow_opt net 9 = None);
+  match Network.flow_opt net 0 with
+  | Some f -> Alcotest.(check int) "flow_opt: present" 0 f.Flow.id
+  | None -> Alcotest.fail "flow_opt lost an existing flow"
+
 let test_tandem_structure () =
   let n = 5 in
   let t = Tandem.make ~n ~utilization:0.6 () in
@@ -178,6 +205,7 @@ let suite =
       test "network basics" test_network_basics;
       test "cycle detection" test_network_cycle;
       test "network validation" test_network_validation;
+      test "lookup errors are descriptive" test_lookup_errors;
       test "tandem structure (Fig. 3)" test_tandem_structure;
       test "tandem sources (Eq. 4)" test_tandem_sources;
       test "tandem validation" test_tandem_validation;

@@ -1,0 +1,9 @@
+(* exn-escape (bad): an exception raised by a cross-module helper
+   (Fixture_state.find_exn raises Not_found) escapes a Par worker
+   with no handler inside the worker; and a function declared as an
+   exception barrier lets Failure out. *)
+
+let lookup_all tbl ks = Par.map (fun k -> Fixture_state.find_exn tbl k) ks
+
+let handle line = if String.length line = 0 then failwith "empty" else line
+[@@lint.exn_barrier]

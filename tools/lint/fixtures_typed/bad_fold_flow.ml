@@ -1,0 +1,8 @@
+(* unsorted-fold-flow (bad): a list built by Hashtbl.fold is bound to
+   a local, passes through an order-preserving transform, and is
+   returned — the syntactic same-expression rule cannot see it, only
+   the flow-aware typed pass can. *)
+
+let summarize tbl =
+  let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  List.rev items

@@ -1,0 +1,22 @@
+(* par-escape (bad): mutable state written, lock-free, from inside a
+   Par worker — once transitively through a cross-module helper
+   (Fixture_state.bump writes Fixture_state.total), once directly on
+   a local captured by the worker closure. *)
+
+let run xs =
+  Par.map
+    (fun n ->
+      Fixture_state.bump n;
+      n)
+    xs
+
+let sum xs =
+  let acc = ref 0 in
+  let _ =
+    Par.map
+      (fun n ->
+        acc := !acc + n;
+        n)
+      xs
+  in
+  !acc

@@ -1,0 +1,17 @@
+(* cache-key (clean): the same knob-dependent compute, but the knob
+   is folded into the key.  The key is a let-bound local, so the
+   checker must resolve the local back to its right-hand side before
+   judging coverage. *)
+
+let memo : float Incremental.table = Incremental.table ()
+
+let analysis net =
+  Fixture_state.scale (float_of_int (List.length (Network.servers net)))
+
+let cached net =
+  let key =
+    Incremental.net_key
+      ~options:(Options.with_compaction !Fixture_state.knob Options.default)
+      net
+  in
+  Incremental.memoize memo key (fun () -> analysis net)

@@ -1,0 +1,16 @@
+(* exn-escape (clean): the worker catches the helper's Not_found
+   itself (match ... with exception), and the barrier function ends
+   in a catch-all. *)
+
+let lookup_all tbl ks =
+  Par.map
+    (fun k ->
+      match Fixture_state.find_exn tbl k with
+      | v -> Some v
+      | exception Not_found -> None)
+    ks
+
+let handle line =
+  try if String.length line = 0 then failwith "empty" else line
+  with _ -> "error"
+[@@lint.exn_barrier]

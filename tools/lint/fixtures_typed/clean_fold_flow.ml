@@ -1,0 +1,7 @@
+(* unsorted-fold-flow (clean): the same fold-into-local shape, but
+   the local is sorted before it reaches the return value, which
+   pins the iteration order. *)
+
+let summarize tbl =
+  let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  List.sort compare items

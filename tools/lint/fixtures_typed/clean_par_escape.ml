@@ -1,0 +1,30 @@
+(* par-escape (clean): the same shapes as Bad_par_escape, but the
+   global write is guarded by Obs_sync.with_lock, the captured-local
+   write carries a reasoned waiver, and a read-only capture is fine
+   as-is. *)
+
+let lock = Obs_sync.create ()
+let total = ref 0
+
+let bump n = Obs_sync.with_lock lock (fun () -> total := !total + n)
+
+let run xs =
+  Par.map
+    (fun n ->
+      bump n;
+      n)
+    xs
+
+let hits = ref 0
+[@@lint.waive
+  "par-escape: fixture — demonstrates a reasoned waiver on a counter \
+   whose exact value is not load-bearing"]
+
+let count xs =
+  Par.map
+    (fun n ->
+      hits := !hits + n;
+      n)
+    xs
+
+let scale_all factor xs = Par.map (fun x -> x *. factor) xs

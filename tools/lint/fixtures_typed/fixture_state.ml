@@ -1,0 +1,23 @@
+(* Shared mutable state and helpers for the typed-lint fixture
+   corpus.  The bad_* fixtures reference these cross-module, so the
+   interprocedural passes must look through unit boundaries to
+   connect a Par worker (or a memoized compute) in one file with a
+   write (or a read) in this one. *)
+
+let total = ref 0
+let knob = ref 1.0
+
+(* Written without a lock: flagged (par-escape) when reached from a
+   Par worker in Bad_par_escape. *)
+let bump n = total := !total + n
+
+(* Reads [knob]: flagged (cache-key) when reached from a memoized
+   compute in Bad_cache_key whose key ignores the knob. *)
+let scale x = x *. !knob
+
+(* Raises: flagged (exn-escape) when reached from a Par worker in
+   Bad_exn_escape with no handler inside the worker. *)
+let find_exn tbl k =
+  match Hashtbl.find_opt tbl k with
+  | Some v -> v
+  | None -> raise Not_found

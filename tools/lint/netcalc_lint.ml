@@ -1,990 +1,201 @@
-(* netcalc-lint — static analyzer for netcalc's domain-safety and
-   numeric-discipline conventions.
+(* netcalc-lint driver: collects inputs, fans the two analysis
+   backends out on the [Par] pool, merges findings deterministically,
+   applies the baseline ratchet and writes the reports.
 
-   Parses every [.ml] file under the given paths with ppxlib's parser
-   and enforces six rule families (DESIGN.md §12):
+   The syntactic backend ([Lint_syntactic]) scans [.ml] sources under
+   the positional PATH arguments.  The typed backend ([Lint_typed],
+   enabled by [--typed]) scans every [.cmt] below [--cmt-root] —
+   whole-program, because the call graph needs all units — but only
+   reports findings whose source file lies under one of the PATHs
+   (except [cmt-error], which is always fatal); with no PATHs at all
+   every typed finding is reported, which is what the fixture tests
+   use.
 
-     race-global     top-level mutable state (ref cells, hash tables,
-                     buffers, arrays, records with mutable fields) in
-                     library code must have every access wrapped in
-                     [Obs_sync.with_lock] within the same function, or
-                     carry a [[@@lint.domain_safe "reason"]] waiver
-     pwl-poly-eq     no polymorphic [=] / [<>] / [compare] /
-                     [Hashtbl.hash] on expressions syntactically known
-                     to be [Pwl.t] — use the uid-based [Pwl.equal] /
-                     [Pwl.compare] / [Pwl.hash]
-     float-eq        no raw [=] / [<>] on float literals or
-                     float-annotated expressions outside
-                     [lib/util/float_ops.ml]
-     forbidden-prim  [Sys.time], [Random.self_init], [Obj.magic]
-                     anywhere; [print_string] / [Printf.printf] in
-                     [lib/] (output belongs to obs or return values)
-     unsorted-fold   [Hashtbl.fold] / [Hashtbl.iter] whose callback
-                     builds a list or prints, with no enclosing sort:
-                     iteration order is unspecified, so the output is
-                     nondeterministic
-     curve-repr      engine code (lib/core, lib/sched, lib/serve)
-                     calling the min-plus kernels directly
-                     ([Minplus.conv] &c.) or rebuilding curves from
-                     samplers ([Pwl.of_sampler]): both bypass the
-                     [--curve-backend] dispatch seam ([Curve_repr])
+   Exit codes: 0 clean, 1 fresh findings or stale baseline entries,
+   2 usage/input error (including an empty [.cmt] scan, which would
+   otherwise make a gate pass vacuously). *)
 
-   plus two infrastructure rules: [parse-error] (a file does not parse)
-   and [bad-waiver] (a [lint.domain_safe] attribute whose payload is
-   not a nonempty reason string).
+open Lint_core
 
-   The check for race-global is deliberately syntactic and
-   same-function: an access counts as guarded only when it occurs
-   inside the thunk passed to a [with_lock] call visible in the same
-   expression tree.  Helpers that are "always called with the lock
-   held" need the waiver (with the invariant as the reason) — exactly
-   the kind of unstated protocol the rule exists to surface.
+let path_prefixes roots =
+  List.map (fun r -> path_segs r) roots
 
-   Exit codes: 0 clean (all findings baselined), 1 at least one fresh
-   finding, 2 usage or I/O error. *)
-
-open Ppxlib
-
-(* ------------------------------------------------------------------ *)
-(* Findings                                                            *)
-(* ------------------------------------------------------------------ *)
-
-type finding = {
-  file : string;
-  line : int;
-  col : int;
-  rule : string;
-  msg : string;
-  hint : string;
-}
-
-let findings : finding list ref = ref []
-
-let report ~file ~loc ~rule ~msg ~hint =
-  let p = loc.Location.loc_start in
-  findings :=
-    { file;
-      line = p.Lexing.pos_lnum;
-      col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
-      rule;
-      msg;
-      hint }
-    :: !findings
-
-(* ------------------------------------------------------------------ *)
-(* Path classification                                                 *)
-(* ------------------------------------------------------------------ *)
-
-type role = Lib | Bin | Bench | Other
-
-let path_segs path =
-  String.split_on_char '/' path
-  |> List.concat_map (String.split_on_char '\\')
-  |> List.filter (fun s -> s <> "" && s <> ".")
-
-let role_of_path path =
-  let rec find = function
-    | [] -> Other
-    | "lib" :: _ -> Lib
-    | "bin" :: _ -> Bin
-    | "bench" :: _ -> Bench
-    | _ :: rest -> find rest
+let under_roots roots file =
+  let segs = path_segs file in
+  let rec is_prefix p s =
+    match (p, s) with
+    | [], _ -> true
+    | x :: p', y :: s' -> x = y && is_prefix p' s'
+    | _ :: _, [] -> false
   in
-  find (path_segs path)
+  List.exists (fun p -> is_prefix p segs) roots
 
-(* Directories whose code constitutes the analysis engines: they must
-   reach the min-plus kernels through the [Curve_repr] dispatch seam,
-   so the [--curve-backend] switch covers every analysis path.
-   lib/pwl (the backends themselves), lib/curves (curve constructors,
-   including the sampler-based FIFO-theta clipping) and lib/sim (the
-   fluid simulator computes explicit trajectories, not bounds) stay on
-   the kernels. *)
-let engine_path path =
-  let rec find = function
-    | "lib" :: d :: _ -> List.mem d [ "core"; "sched"; "serve" ]
-    | _ :: rest -> find rest
-    | [] -> false
-  in
-  find (path_segs path)
-
-(* The one module allowed to spell out raw float comparison. *)
-let is_float_ops_file path = Filename.basename path = "float_ops.ml"
-
-(* ------------------------------------------------------------------ *)
-(* Syntactic helpers                                                   *)
-(* ------------------------------------------------------------------ *)
-
-let rec last_of_lid = function
-  | Lident s -> s
-  | Ldot (_, s) -> s
-  | Lapply (_, l) -> last_of_lid l
-
-let head_ident e =
-  match e.pexp_desc with Pexp_ident { txt; _ } -> Some txt | _ -> None
-
-(* Callee of an expression that may itself be a (partial) application:
-   used to recognize [x |> List.sort cmp] pipelines. *)
-let callee_path e =
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ } -> Some txt
-  | Pexp_apply (h, _) -> head_ident h
-  | _ -> None
-
-let rec unconstrain e =
-  match e.pexp_desc with Pexp_constraint (e, _) -> unconstrain e | _ -> e
-
-let binding_name pat =
-  match pat.ppat_desc with
-  | Ppat_var { txt; _ } -> Some txt
-  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> Some txt
-  | _ -> None
-
-let unlabeled args =
-  List.filter_map (function Nolabel, e -> Some e | _ -> None) args
-
-let split_last l =
-  match List.rev l with
-  | [] -> None
-  | x :: rev_init -> Some (List.rev rev_init, x)
-
-(* A generic "does any sub-expression satisfy [pred]" scan. *)
-let expr_contains pred e =
-  let found = ref false in
-  let it =
-    object
-      inherit Ast_traverse.iter as super
-
-      method! expression x =
-        if !found then ()
-        else if pred x then found := true
-        else super#expression x
-    end
-  in
-  it#expression e;
-  !found
-
-(* ------------------------------------------------------------------ *)
-(* Rule vocabulary                                                     *)
-(* ------------------------------------------------------------------ *)
-
-let poly_eq_op = function
-  | Lident (("=" | "<>" | "compare") as s)
-  | Ldot (Lident "Stdlib", (("=" | "<>" | "compare") as s)) ->
-      Some s
-  | _ -> None
-
-let float_eq_op = function
-  | Lident (("=" | "<>") as s) | Ldot (Lident "Stdlib", (("=" | "<>") as s))
-    ->
-      Some s
-  | _ -> None
-
-(* Module names that denote hash-table-like containers: the stdlib ones
-   plus local [Hashtbl.Make] instances, which this codebase names
-   [*_tbl] / [*Tbl] by convention. *)
-let tbl_module m =
-  m = "Hashtbl"
-  ||
-  let lm = String.lowercase_ascii m in
-  let n = String.length lm in
-  n >= 3 && String.sub lm (n - 3) 3 = "tbl"
-
-let mutable_ctor = function
-  | Lident "ref" -> Some "ref cell"
-  | Ldot (Lident m, "create") when tbl_module m -> Some "hash table"
-  | Ldot (Lident "Buffer", "create") -> Some "buffer"
-  | Ldot (Lident "Queue", "create") -> Some "queue"
-  | Ldot (Lident "Stack", "create") -> Some "stack"
-  | Ldot (Lident "Bytes", ("create" | "make")) -> Some "byte buffer"
-  | Ldot (Lident "Array", ("make" | "init" | "create_float")) -> Some "array"
-  | Ldot (Lident "Weak", "create") -> Some "weak array"
-  | _ -> None
-
-let sort_callee = function
-  | Ldot (Lident "List", ("sort" | "sort_uniq" | "stable_sort" | "fast_sort"))
-  | Ldot (Lident "Array", ("sort" | "stable_sort" | "fast_sort")) ->
-      true
-  | _ -> false
-
-let hashtbl_iteration = function
-  | Ldot (Lident m, (("fold" | "iter") as f)) when tbl_module m ->
-      Some (m ^ "." ^ f)
-  | _ -> None
-
-let forbidden_prim role = function
-  | Ldot (Lident "Sys", "time") ->
-      Some ("Sys.time", "use the monotonic Trace.now_us instead")
-  | Ldot (Lident "Random", "self_init") ->
-      Some
-        ( "Random.self_init",
-          "nondeterministic seeding; use Random.init with an explicit seed" )
-  | Ldot (Lident "Obj", "magic") -> Some ("Obj.magic", "no unsafe casts")
-  | Lident "print_string" when role = Lib ->
-      Some
-        ( "print_string",
-          "libraries must not print; return values or record via netcalc.obs"
-        )
-  | Ldot (Lident "Printf", "printf") when role = Lib ->
-      Some
-        ( "Printf.printf",
-          "libraries must not print; return values or record via netcalc.obs"
-        )
-  | _ -> None
-
-(* Expressions that user-visible output flows through: flagged when fed
-   straight from an unsorted hash-table iteration. *)
-let sink_ident = function
-  | Lident
-      ( "print_string" | "print_endline" | "print_newline" | "print_int"
-      | "print_float" | "output_string" | "prerr_string" | "prerr_endline" )
-    ->
-      true
-  | Ldot (Lident ("Printf" | "Format"), ("printf" | "eprintf" | "fprintf")) ->
-      true
-  | Ldot (Lident "Buffer", ("add_string" | "add_char")) -> true
-  | Ldot
-      ( Lident "Table",
-        ("add_row" | "add_floats" | "print" | "output" | "to_string" | "to_csv")
-      ) ->
-      true
-  | _ -> false
-
-let builds_list e =
-  expr_contains
-    (fun x ->
-      match x.pexp_desc with
-      | Pexp_construct ({ txt = Lident "::"; _ }, _) -> true
-      | _ -> false)
-    e
-
-let contains_sink e =
-  expr_contains
-    (fun x ->
-      match x.pexp_desc with
-      | Pexp_ident { txt; _ } -> sink_ident txt
-      | _ -> false)
-    e
-
-(* Pwl.t constructors whose results are curves (scalar-returning
-   accessors like [eval] or [final_slope] are deliberately absent). *)
-let pwl_ctors =
-  [ "make"; "constant"; "affine"; "of_sampler"; "add"; "sum"; "sub"; "scale";
-    "min_pw"; "max_pw"; "nonneg"; "min_list"; "shift_left"; "shift_right";
-    "compose"; "pseudo_inverse"; "running_max"; "lower_convex_hull"; "compact"
-  ]
-
-let minplus_ctors = [ "conv"; "conv_list"; "conv_with_rate"; "deconv" ]
-
-let is_pwl_type ty =
-  match ty.ptyp_desc with
-  | Ptyp_constr ({ txt = Ldot (Lident "Pwl", "t"); _ }, []) -> true
-  | _ -> false
-
-let is_float_type ty =
-  match ty.ptyp_desc with
-  | Ptyp_constr ({ txt = Lident "float" | Ldot (Lident "Float", "t"); _ }, [])
-    ->
-      true
-  | _ -> false
-
-(* ------------------------------------------------------------------ *)
-(* Waivers                                                             *)
-(* ------------------------------------------------------------------ *)
-
-let waiver_name = "lint.domain_safe"
-
-let waiver_attr attrs =
-  List.find_opt (fun a -> a.attr_name.txt = waiver_name) attrs
-
-let waiver_reason attr =
-  match attr.attr_payload with
-  | PStr
-      [ { pstr_desc =
-            Pstr_eval
-              ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
-                _ );
-          _
-        }
-      ]
-    when String.trim s <> "" ->
-      Some s
-  | _ -> None
-
-(* ------------------------------------------------------------------ *)
-(* Per-file analysis                                                   *)
-(* ------------------------------------------------------------------ *)
-
-let analyze_structure ~file ~role str =
-  let float_ops = is_float_ops_file file in
-  let engine = engine_path file in
-  (* Names of mutable record labels declared in this file: a top-level
-     [let st = { pos = 0; ... }] with such a label is module-scope
-     mutable state. *)
-  let mutable_labels : (string, unit) Hashtbl.t = Hashtbl.create 8 in
-  (* Top-level mutable bindings: name -> kind. *)
-  let tracked : (string, string) Hashtbl.t = Hashtbl.create 8 in
-  let waived : (string, unit) Hashtbl.t = Hashtbl.create 8 in
-  (* Names syntactically known to hold Pwl.t values. *)
-  let pwl_names : (string, unit) Hashtbl.t = Hashtbl.create 8 in
-
-  let rec is_pwlish e =
-    match e.pexp_desc with
-    | Pexp_constraint (inner, ty) -> is_pwl_type ty || is_pwlish inner
-    | Pexp_ident { txt = Lident n; _ } -> Hashtbl.mem pwl_names n
-    | Pexp_ident { txt = Ldot (Lident "Pwl", "zero"); _ } -> true
-    | Pexp_apply (h, _) -> (
-        match head_ident h with
-        | Some (Ldot (Lident "Pwl", f)) -> List.mem f pwl_ctors
-        | Some (Ldot (Lident "Minplus", f)) -> List.mem f minplus_ctors
-        | _ -> false)
-    | _ -> false
-  in
-  let rec is_floatish e =
-    match e.pexp_desc with
-    | Pexp_constant (Pconst_float _) -> true
-    | Pexp_constraint (inner, ty) -> is_float_type ty || is_floatish inner
-    | Pexp_apply
-        ({ pexp_desc = Pexp_ident { txt = Lident ("~-." | "~+."); _ }; _ },
-         [ (Nolabel, a) ]) ->
-        is_floatish a
-    | _ -> false
-  in
-
-  (* -- pass 1: module-scope declarations ---------------------------- *)
-  let collect_type_decl td =
-    match td.ptype_kind with
-    | Ptype_record labels ->
-        List.iter
-          (fun ld ->
-            if ld.pld_mutable = Mutable then
-              Hashtbl.replace mutable_labels ld.pld_name.txt ())
-          labels
-    | _ -> ()
-  in
-  let mutable_rhs e =
-    let e = unconstrain e in
-    match e.pexp_desc with
-    | Pexp_apply (h, _) -> (
-        match head_ident h with Some p -> mutable_ctor p | None -> None)
-    | Pexp_record (fields, _)
-      when List.exists
-             (fun (lid, _) -> Hashtbl.mem mutable_labels (last_of_lid lid.txt))
-             fields ->
-        Some "record with mutable fields"
-    | Pexp_array _ -> Some "array"
-    | _ -> None
-  in
-  let collect_vb vb =
-    (match waiver_attr vb.pvb_attributes with
-    | None -> ()
-    | Some attr -> (
-        match waiver_reason attr with
-        | Some _ -> (
-            match binding_name vb.pvb_pat with
-            | Some n -> Hashtbl.replace waived n ()
-            | None -> ())
-        | None ->
-            report ~file ~loc:attr.attr_loc ~rule:"bad-waiver"
-              ~msg:
-                "[@@lint.domain_safe] without a reason: the payload must be \
-                 a nonempty string explaining why unguarded access is safe"
-              ~hint:"write [@@lint.domain_safe \"reason\"]"));
-    match binding_name vb.pvb_pat with
-    | Some n -> (
-        match mutable_rhs vb.pvb_expr with
-        | Some kind -> Hashtbl.replace tracked n kind
-        | None -> ())
-    | None -> ()
-  in
-  let rec collect_structure items = List.iter collect_item items
-  and collect_item it =
-    match it.pstr_desc with
-    | Pstr_value (_, vbs) -> List.iter collect_vb vbs
-    | Pstr_type (_, decls) -> List.iter collect_type_decl decls
-    | Pstr_module mb -> collect_module mb.pmb_expr
-    | Pstr_recmodule mbs -> List.iter (fun mb -> collect_module mb.pmb_expr) mbs
-    | Pstr_include incl -> collect_module incl.pincl_mod
-    | _ -> ()
-  and collect_module me =
-    match me.pmod_desc with
-    | Pmod_structure s -> collect_structure s
-    | Pmod_constraint (m, _) -> collect_module m
-    | Pmod_functor (_, m) -> collect_module m
-    | _ -> ()
-  in
-  (* Types first: a record binding earlier in the file than its type is
-     impossible, but keeping the passes separate costs nothing. *)
-  collect_structure str;
-
-  (* -- pass 2: names syntactically known to be Pwl.t ---------------- *)
-  let name_collector =
-    object
-      inherit Ast_traverse.iter as super
-
-      method! value_binding vb =
-        (match binding_name vb.pvb_pat with
-        | Some n ->
-            let annotated =
-              match vb.pvb_pat.ppat_desc with
-              | Ppat_constraint (_, ty) -> is_pwl_type ty
-              | _ -> false
-            in
-            if annotated || is_pwlish vb.pvb_expr then
-              Hashtbl.replace pwl_names n ()
-        | None -> ());
-        super#value_binding vb
-
-      method! pattern p =
-        (match p.ppat_desc with
-        | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, ty)
-          when is_pwl_type ty ->
-            Hashtbl.replace pwl_names txt ()
-        | _ -> ());
-        super#pattern p
-    end
-  in
-  name_collector#structure str;
-
-  (* -- pass 3: flagging --------------------------------------------- *)
-  let visitor =
-    object (self)
-      inherit Ast_traverse.iter as super
-      val mutable lock_depth = 0
-      val mutable sort_depth = 0
-
-      method private check_ident e txt =
-        (match txt with
-        | Lident n
-          when role = Lib && lock_depth = 0 && Hashtbl.mem tracked n
-               && not (Hashtbl.mem waived n) ->
-            report ~file ~loc:e.pexp_loc ~rule:"race-global"
-              ~msg:
-                (Printf.sprintf
-                   "access to top-level mutable %s [%s] outside \
-                    Obs_sync.with_lock"
-                   (Hashtbl.find tracked n) n)
-              ~hint:
-                "wrap the access in Obs_sync.with_lock, or waive the \
-                 binding with [@@lint.domain_safe \"reason\"]"
-        | _ -> ());
-        (match txt with
-        | Ldot (Lident "Minplus", f) when engine && List.mem f minplus_ctors ->
-            report ~file ~loc:e.pexp_loc ~rule:"curve-repr"
-              ~msg:
-                (Printf.sprintf
-                   "direct Minplus.%s in engine code bypasses the \
-                    curve-backend switch"
-                   f)
-              ~hint:
-                "go through Curve_repr.conv / conv_list / conv_with_rate / \
-                 deconv"
-        | Ldot (Lident "Pwl", "of_sampler") when engine ->
-            report ~file ~loc:e.pexp_loc ~rule:"curve-repr"
-              ~msg:
-                "Pwl.of_sampler in engine code builds a \
-                 representation-specific curve behind the Curve_repr seam"
-              ~hint:
-                "move the sampler-based construction into lib/pwl or \
-                 lib/curves and expose it through the repr interface"
-        | _ -> ());
-        match forbidden_prim role txt with
-        | Some (sym, hint) ->
-            report ~file ~loc:e.pexp_loc ~rule:"forbidden-prim"
-              ~msg:(Printf.sprintf "forbidden primitive %s" sym)
-              ~hint
-        | None -> ()
-
-      method private check_apply e h args =
-        match head_ident h with
-        | None -> ()
-        | Some p ->
-            (match (poly_eq_op p, unlabeled args) with
-            | Some op, [ a; b ] when is_pwlish a || is_pwlish b ->
-                report ~file ~loc:e.pexp_loc ~rule:"pwl-poly-eq"
-                  ~msg:
-                    (Printf.sprintf
-                       "polymorphic (%s) on a Pwl.t value (hash-consed; \
-                        structure is not identity)"
-                       op)
-                  ~hint:"use Pwl.equal / Pwl.compare (uid-based)"
-            | _ -> ());
-            (match (p, unlabeled args) with
-            | Ldot (Lident "Hashtbl", "hash"), a :: _ when is_pwlish a ->
-                report ~file ~loc:e.pexp_loc ~rule:"pwl-poly-eq"
-                  ~msg:"Hashtbl.hash on a Pwl.t value"
-                  ~hint:"use Pwl.hash (precomputed content hash)"
-            | _ -> ());
-            (match (float_eq_op p, unlabeled args) with
-            | Some op, [ a; b ]
-              when (not float_ops)
-                   && (not (is_pwlish a || is_pwlish b))
-                   && (is_floatish a || is_floatish b) ->
-                report ~file ~loc:e.pexp_loc ~rule:"float-eq"
-                  ~msg:(Printf.sprintf "raw float (%s)" op)
-                  ~hint:
-                    "use Float_ops.(=~) (tolerant) or Float_ops.eq_exact \
-                     (deliberate exact comparison)"
-            | _ -> ());
-            match hashtbl_iteration p with
-            | Some name when sort_depth = 0 -> (
-                match unlabeled args with
-                | cb :: _ when contains_sink cb ->
-                    report ~file ~loc:e.pexp_loc ~rule:"unsorted-fold"
-                      ~msg:
-                        (Printf.sprintf
-                           "%s prints in hash-table iteration order, which \
-                            is unspecified"
-                           name)
-                      ~hint:"collect the bindings, sort, then emit"
-                | cb :: _ when builds_list cb ->
-                    report ~file ~loc:e.pexp_loc ~rule:"unsorted-fold"
-                      ~msg:
-                        (Printf.sprintf
-                           "%s builds a list in hash-table iteration order \
-                            with no enclosing sort"
-                           name)
-                      ~hint:
-                        "pipe the result through List.sort (or sort the \
-                         keys first)"
-                | _ -> ())
-            | _ -> ()
-
-      method! expression e =
-        (match e.pexp_desc with
-        | Pexp_ident { txt; _ } -> self#check_ident e txt
-        | _ -> ());
-        match e.pexp_desc with
-        | Pexp_apply (h, args) -> (
-            self#check_apply e h args;
-            let visit_all l = List.iter (fun (_, a) -> self#expression a) l in
-            match head_ident h with
-            | Some p when last_of_lid p = "with_lock" -> (
-                (* The last argument is the critical section. *)
-                match split_last args with
-                | Some (init, (_, body)) ->
-                    self#expression h;
-                    visit_all init;
-                    lock_depth <- lock_depth + 1;
-                    self#expression body;
-                    lock_depth <- lock_depth - 1
-                | None -> super#expression e)
-            | Some p when sort_callee p ->
-                self#expression h;
-                sort_depth <- sort_depth + 1;
-                visit_all args;
-                sort_depth <- sort_depth - 1
-            | Some (Lident "|>") -> (
-                match args with
-                | [ (_, lhs); (_, rhs) ]
-                  when (match callee_path rhs with
-                       | Some c -> sort_callee c
-                       | None -> false) ->
-                    sort_depth <- sort_depth + 1;
-                    self#expression lhs;
-                    sort_depth <- sort_depth - 1;
-                    self#expression rhs
-                | _ -> super#expression e)
-            | Some (Lident "@@") -> (
-                match args with
-                | [ (_, lhs); (_, rhs) ]
-                  when (match callee_path lhs with
-                       | Some c -> sort_callee c
-                       | None -> false) ->
-                    self#expression lhs;
-                    sort_depth <- sort_depth + 1;
-                    self#expression rhs;
-                    sort_depth <- sort_depth - 1
-                | _ -> super#expression e)
-            | _ -> super#expression e)
-        | _ -> super#expression e
-    end
-  in
-  visitor#structure str
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let analyze_file path =
-  let role = role_of_path path in
-  let src = read_file path in
-  let lexbuf = Lexing.from_string src in
-  lexbuf.Lexing.lex_curr_p <-
-    { Lexing.pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
-  match Parse.implementation lexbuf with
-  | str -> analyze_structure ~file:path ~role str
-  | exception exn ->
-      let msg =
-        match Location.Error.of_exn exn with
-        | Some err -> Location.Error.message err
-        | None -> Printexc.to_string exn
-      in
-      report ~file:path
-        ~loc:
-          { Location.loc_start = Lexing.dummy_pos;
-            loc_end = Lexing.dummy_pos;
-            loc_ghost = true
-          }
-        ~rule:"parse-error"
-        ~msg:(Printf.sprintf "file does not parse: %s" msg)
-        ~hint:"fix the syntax error (the compiler will tell you more)"
-
-(* ------------------------------------------------------------------ *)
-(* Minimal JSON (the container ships no JSON library)                  *)
-(* ------------------------------------------------------------------ *)
-
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  exception Parse_error of string
-
-  let parse s =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg =
-      raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
-    in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-          advance ();
-          skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      match peek () with
-      | Some c' when c' = c -> advance ()
-      | _ -> fail (Printf.sprintf "expected '%c'" c)
-    in
-    let literal lit v =
-      let l = String.length lit in
-      if !pos + l <= n && String.sub s !pos l = lit then (
-        pos := !pos + l;
-        v)
-      else fail ("expected " ^ lit)
-    in
-    let parse_string () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        if !pos >= n then fail "unterminated string";
-        let c = s.[!pos] in
-        advance ();
-        if c = '"' then Buffer.contents b
-        else if c = '\\' then (
-          if !pos >= n then fail "bad escape";
-          let e = s.[!pos] in
-          advance ();
-          (match e with
-          | '"' -> Buffer.add_char b '"'
-          | '\\' -> Buffer.add_char b '\\'
-          | '/' -> Buffer.add_char b '/'
-          | 'b' -> Buffer.add_char b '\b'
-          | 'f' -> Buffer.add_char b '\012'
-          | 'n' -> Buffer.add_char b '\n'
-          | 'r' -> Buffer.add_char b '\r'
-          | 't' -> Buffer.add_char b '\t'
-          | 'u' ->
-              if !pos + 4 > n then fail "bad unicode escape";
-              let code =
-                try int_of_string ("0x" ^ String.sub s !pos 4)
-                with _ -> fail "bad unicode escape"
-              in
-              pos := !pos + 4;
-              if code < 128 then Buffer.add_char b (Char.chr code)
-              else Buffer.add_char b '?'
-          | _ -> fail "bad escape");
-          go ())
-        else (
-          Buffer.add_char b c;
-          go ())
-      in
-      go ()
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' ->
-          advance ();
-          skip_ws ();
-          if peek () = Some '}' then (
-            advance ();
-            Obj [])
-          else
-            let rec members acc =
-              skip_ws ();
-              let k = parse_string () in
-              skip_ws ();
-              expect ':';
-              let v = value () in
-              skip_ws ();
-              match peek () with
-              | Some ',' ->
-                  advance ();
-                  members ((k, v) :: acc)
-              | Some '}' ->
-                  advance ();
-                  Obj (List.rev ((k, v) :: acc))
-              | _ -> fail "expected ',' or '}'"
-            in
-            members []
-      | Some '[' ->
-          advance ();
-          skip_ws ();
-          if peek () = Some ']' then (
-            advance ();
-            Arr [])
-          else
-            let rec elements acc =
-              let v = value () in
-              skip_ws ();
-              match peek () with
-              | Some ',' ->
-                  advance ();
-                  elements (v :: acc)
-              | Some ']' ->
-                  advance ();
-                  Arr (List.rev (v :: acc))
-              | _ -> fail "expected ',' or ']'"
-            in
-            elements []
-      | Some '"' -> Str (parse_string ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some ('-' | '0' .. '9') ->
-          let start = !pos in
-          let num_char = function
-            | '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true
-            | _ -> false
-          in
-          while
-            match peek () with Some c when num_char c -> true | _ -> false
-          do
-            advance ()
-          done;
-          let lit = String.sub s start (!pos - start) in
-          (try Num (float_of_string lit) with _ -> fail "bad number")
-      | _ -> fail "unexpected character"
-    in
-    let v = value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing content";
-    v
-
-  let member k = function
-    | Obj fields -> List.assoc_opt k fields
-    | _ -> None
-
-  let quote s =
-    let b = Buffer.create (String.length s + 2) in
-    Buffer.add_char b '"';
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | '\r' -> Buffer.add_string b "\\r"
-        | '\t' -> Buffer.add_string b "\\t"
-        | c when Char.code c < 0x20 ->
-            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.add_char b '"';
-    Buffer.contents b
-end
-
-(* ------------------------------------------------------------------ *)
-(* Baseline                                                            *)
-(* ------------------------------------------------------------------ *)
-
-(* A baseline entry identifies a finding by (file, rule, line): stable
-   under unrelated edits elsewhere, invalidated (on purpose) when the
-   flagged code moves — the gate then forces a re-look. *)
-
-let load_baseline path =
-  if not (Sys.file_exists path) then []
-  else
-    let j =
-      try Json.parse (read_file path)
-      with Json.Parse_error msg ->
-        Printf.eprintf "netcalc-lint: cannot parse baseline %s: %s\n" path msg;
-        exit 2
-    in
-    match Json.member "findings" j with
-    | Some (Json.Arr entries) ->
-        List.filter_map
-          (fun e ->
-            match
-              ( Json.member "file" e,
-                Json.member "rule" e,
-                Json.member "line" e )
-            with
-            | Some (Json.Str f), Some (Json.Str r), Some (Json.Num l) ->
-                Some (f, r, int_of_float l)
-            | _ -> None)
-          entries
-    | _ ->
-        Printf.eprintf
-          "netcalc-lint: baseline %s has no \"findings\" array\n" path;
-        exit 2
-
-let write_baseline path fs =
-  let oc = open_out path in
-  output_string oc "{\n  \"schema\": \"netcalc-lint-baseline/1\",\n";
-  output_string oc "  \"findings\": [";
-  List.iteri
-    (fun i f ->
-      Printf.fprintf oc "%s\n    {\"file\": %s, \"rule\": %s, \"line\": %d}"
-        (if i = 0 then "" else ",")
-        (Json.quote f.file) (Json.quote f.rule) f.line)
-    fs;
-  output_string oc (if fs = [] then "]\n}\n" else "\n  ]\n}\n");
-  close_out oc
-
-let write_report path ~files_scanned classified =
-  let total = List.length classified in
-  let baselined =
-    List.length (List.filter (fun (_, b) -> b) classified)
-  in
-  let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": \"netcalc-lint/1\",\n";
-  Printf.fprintf oc "  \"files_scanned\": %d,\n" files_scanned;
-  Printf.fprintf oc "  \"total\": %d,\n" total;
-  Printf.fprintf oc "  \"baselined\": %d,\n" baselined;
-  Printf.fprintf oc "  \"fresh\": %d,\n" (total - baselined);
-  output_string oc "  \"findings\": [";
-  List.iteri
-    (fun i (f, b) ->
-      Printf.fprintf oc
-        "%s\n\
-        \    {\"file\": %s, \"line\": %d, \"col\": %d, \"rule\": %s, \
-         \"baselined\": %b, \"msg\": %s, \"hint\": %s}"
-        (if i = 0 then "" else ",")
-        (Json.quote f.file) f.line f.col (Json.quote f.rule) b
-        (Json.quote f.msg) (Json.quote f.hint))
-    classified;
-  output_string oc (if classified = [] then "]\n}\n" else "\n  ]\n}\n");
-  close_out oc
-
-(* ------------------------------------------------------------------ *)
-(* Driver                                                              *)
-(* ------------------------------------------------------------------ *)
-
-let rec collect_ml acc path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list
-    |> List.sort String.compare
-    |> List.fold_left
-         (fun acc entry ->
-           if entry = "_build" || (entry <> "" && entry.[0] = '.') then acc
-           else collect_ml acc (Filename.concat path entry))
-         acc
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
+let triple f = (f.file, f.rule, f.line)
 
 let () =
   let usage =
-    "netcalc_lint [--baseline FILE] [--json FILE] [--update-baseline] PATH..."
+    "netcalc_lint [--baseline FILE] [--json FILE] [--update-baseline] \
+     [--typed --cmt-root DIR] [-j N] PATH..."
   in
   let baseline_file = ref None in
   let json_file = ref None in
   let update = ref false in
+  let typed = ref false in
+  let cmt_root = ref None in
+  let jobs_flag = ref 0 in
   let paths = ref [] in
   Arg.parse
     [ ( "--baseline",
         Arg.String (fun s -> baseline_file := Some s),
-        "FILE baseline of accepted findings (ratchet)" );
+        "FILE baseline of accepted findings (shrink-only ratchet)" );
       ( "--json",
         Arg.String (fun s -> json_file := Some s),
-        "FILE write a machine-readable report" );
+        "FILE write a machine-readable report (schema netcalc-lint/2)" );
       ( "--update-baseline",
         Arg.Set update,
-        " rewrite the baseline to the current findings" )
+        " prune stale baseline entries (refuses to absorb fresh findings; \
+         bootstraps when the baseline file does not exist yet)" );
+      ( "--typed",
+        Arg.Set typed,
+        " run the typed cross-module pass over .cmt artifacts" );
+      ( "--cmt-root",
+        Arg.String (fun s -> cmt_root := Some s),
+        "DIR build tree holding the .cmt files (e.g. _build/default; \
+         produce them with: dune build @check)" );
+      ("-j", Arg.Set_int jobs_flag, "N analysis workers (default: Par pool)");
+      ("--jobs", Arg.Set_int jobs_flag, "N same as -j")
     ]
     (fun p -> paths := p :: !paths)
     usage;
-  if !paths = [] then (
+  let paths = List.rev !paths in
+  if paths = [] && not !typed then (
     prerr_endline usage;
     exit 2);
+  if !jobs_flag > 0 then Par.set_jobs !jobs_flag;
+  let t0 = Unix.gettimeofday () in
+
+  (* syntactic pass over sources *)
   let files =
-    List.fold_left collect_ml [] (List.rev !paths) |> List.sort String.compare
+    List.fold_left collect_ml [] paths |> List.sort String.compare
   in
-  List.iter analyze_file files;
-  let all =
-    List.sort_uniq
-      (fun a b ->
-        match String.compare a.file b.file with
-        | 0 -> (
-            match Stdlib.compare (a.line, a.col) (b.line, b.col) with
-            | 0 -> String.compare a.rule b.rule
-            | c -> c)
-        | c -> c)
-      !findings
+  let syntactic =
+    Par.map Lint_syntactic.analyze_file files |> List.concat
   in
-  (* Collapse duplicates of the same (file, rule, line) reported at
-     different columns: one diagnostic per flagged line and rule. *)
-  let all =
-    List.fold_left
-      (fun acc f ->
-        match acc with
-        | prev :: _
-          when prev.file = f.file && prev.rule = f.rule && prev.line = f.line
-          ->
-            acc
-        | _ -> f :: acc)
-      [] all
-    |> List.rev
+
+  (* typed pass over cmts *)
+  let units, typed_findings =
+    if not !typed then (0, [])
+    else
+      match !cmt_root with
+      | None ->
+          prerr_endline "netcalc-lint: --typed requires --cmt-root DIR";
+          exit 2
+      | Some root ->
+          if not (Sys.file_exists root && Sys.is_directory root) then (
+            Printf.eprintf "netcalc-lint: --cmt-root %s is not a directory\n"
+              root;
+            exit 2);
+          let cmts = collect_cmt root in
+          if cmts = [] then (
+            Printf.eprintf
+              "netcalc-lint: no .cmt files under %s — build them with: dune \
+               build @check\n"
+              root;
+            exit 2);
+          let facts = Par.map Lint_typed.facts_of_cmt cmts in
+          let findings = Lint_typed.analyze facts in
+          let roots = path_prefixes paths in
+          let findings =
+            if paths = [] then findings
+            else
+              List.filter
+                (fun f -> f.rule = "cmt-error" || under_roots roots f.file)
+                findings
+          in
+          (List.length cmts, findings)
   in
-  (match !baseline_file with
-  | Some path when !update ->
-      write_baseline path all;
-      Printf.printf "netcalc-lint: wrote %d finding(s) to %s\n"
-        (List.length all) path;
-      exit 0
-  | _ -> ());
+  let all = dedup (syntactic @ typed_findings) in
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+
+  (* --update-baseline: shrink-only ratchet *)
+  (match (!baseline_file, !update) with
+  | None, true ->
+      prerr_endline "netcalc-lint: --update-baseline requires --baseline FILE";
+      exit 2
+  | Some path, true -> (
+      let current = List.map triple all in
+      match load_baseline path with
+      | None ->
+          write_baseline path current;
+          Printf.printf
+            "netcalc-lint: bootstrapped %s with %d finding(s)\n" path
+            (List.length current);
+          exit 0
+      | Some old ->
+          let fresh =
+            List.filter (fun f -> not (List.mem (triple f) old)) all
+          in
+          if fresh <> [] then (
+            List.iter
+              (fun f ->
+                Printf.printf "%s:%d:%d: [%s] %s\n  hint: %s\n" f.file f.line
+                  f.col f.rule f.msg f.hint)
+              fresh;
+            Printf.printf
+              "netcalc-lint: refusing to absorb %d fresh finding(s) into %s \
+               — the baseline only shrinks; fix or waive them instead\n"
+              (List.length fresh) path;
+            exit 1)
+          else (
+            let kept = List.filter (fun t -> List.mem t old) current in
+            write_baseline path kept;
+            Printf.printf
+              "netcalc-lint: wrote %s (%d entr%s kept, %d stale pruned)\n"
+              path (List.length kept)
+              (if List.length kept = 1 then "y" else "ies")
+              (List.length old - List.length kept);
+            exit 0))
+  | _, false -> ());
+
+  (* normal run: classify against the baseline, fail on fresh or stale *)
   let baseline =
-    match !baseline_file with Some p -> load_baseline p | None -> []
+    match !baseline_file with
+    | Some p -> ( match load_baseline p with Some b -> b | None -> [])
+    | None -> []
   in
-  let classified =
-    List.map
-      (fun f -> (f, List.mem (f.file, f.rule, f.line) baseline))
-      all
-  in
+  let classified = List.map (fun f -> (f, List.mem (triple f) baseline)) all in
   let stale =
     List.filter
-      (fun (bf, br, bl) ->
-        not (List.exists (fun f -> (f.file, f.rule, f.line) = (bf, br, bl)) all))
+      (fun t -> not (List.exists (fun f -> triple f = t) all))
       baseline
   in
   List.iter
     (fun (f, baselined) ->
-      Printf.printf "%s:%d:%d: [%s] %s%s\n  hint: %s\n" f.file f.line f.col
-        f.rule f.msg
+      Printf.printf "%s:%d:%d: [%s:%s] %s%s\n  hint: %s\n" f.file f.line f.col
+        (pass_of_rule f.rule) f.rule f.msg
         (if baselined then " (baselined)" else "")
         f.hint)
     classified;
+  List.iter
+    (fun (bf, br, bl) ->
+      Printf.printf
+        "%s:%d: stale baseline entry [%s]: the finding no longer occurs — \
+         prune it with --update-baseline\n"
+        bf bl br)
+    stale;
   (match !json_file with
   | Some path ->
-      write_report path ~files_scanned:(List.length files) classified
+      write_report path ~files_scanned:(List.length files)
+        ~units_scanned:units ~elapsed_ms ~jobs:(Par.jobs ()) ~typed:!typed
+        ~stale:(List.length stale) classified
   | None -> ());
   let fresh = List.filter (fun (_, b) -> not b) classified in
   Printf.printf
-    "netcalc-lint: %d file(s), %d finding(s) (%d baselined, %d fresh, %d \
-     stale baseline entr%s)\n"
-    (List.length files) (List.length classified)
+    "netcalc-lint: %d file(s), %d unit(s), %d finding(s) (%d baselined, %d \
+     fresh, %d stale baseline entr%s) in %.0f ms [j=%d]\n"
+    (List.length files) units (List.length classified)
     (List.length classified - List.length fresh)
     (List.length fresh) (List.length stale)
-    (if List.length stale = 1 then "y" else "ies");
-  exit (if fresh = [] then 0 else 1)
+    (if List.length stale = 1 then "y" else "ies")
+    elapsed_ms (Par.jobs ());
+  exit (if fresh = [] && stale = [] then 0 else 1)
